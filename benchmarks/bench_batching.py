@@ -1,0 +1,76 @@
+"""E11 — ablation: batch size under bandwidth-limited links.
+
+Block batch size trades per-transaction amortization against serialization
+and queueing delay on finite-bandwidth links.  The bench sweeps batch size
+on a bandwidth-limited synchronous network and reports transaction
+throughput and commit latency.
+"""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.net.bandwidth import BandwidthDelay
+from repro.net.conditions import SynchronousDelay
+from repro.runtime.cluster import ClusterBuilder
+
+RUN_FOR = 300.0
+BATCH_SIZES = [1, 10, 50]
+
+
+def run_with_batch(batch_size: int, seed: int = 17):
+    config = ProtocolConfig(n=4, batch_size=batch_size)
+    model = BandwidthDelay(
+        bytes_per_second=40_000, latency=SynchronousDelay(delta=0.5, min_delay=0.1)
+    )
+    cluster = (
+        ClusterBuilder(config=config, seed=seed)
+        .with_preload(50_000)
+        .with_delay_model(model)
+        .build()
+    )
+    cluster.run(until=RUN_FOR)
+    return cluster
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_batch_size_sweep(benchmark, report, batch_size):
+    cluster = benchmark.pedantic(lambda: run_with_batch(batch_size), rounds=1, iterations=1)
+    metrics = cluster.metrics
+    committed_txs = sum(
+        event.batch_size for event in metrics.commits_at(0)
+    )
+    tx_throughput = committed_txs / RUN_FOR
+    latencies = sorted(metrics.commit_latencies())
+    p50 = latencies[len(latencies) // 2] if latencies else float("nan")
+    table = report.table(
+        "batching",
+        headers=["batch size", "tx/s", "blocks", "p50 tx latency (s)", "bytes/tx"],
+        title="Ablation — batch size on a 40 kB/s-per-link network",
+    )
+    bytes_per_tx = metrics.honest_bytes / max(committed_txs, 1)
+    table.add_row(
+        batch_size,
+        f"{tx_throughput:.1f}",
+        metrics.decisions(),
+        f"{p50:.1f}",
+        f"{bytes_per_tx:.0f}",
+    )
+    benchmark.extra_info["tx_throughput"] = tx_throughput
+    assert metrics.decisions() > 0
+
+
+def test_batching_amortizes_overhead(benchmark, report):
+    def pair():
+        return run_with_batch(1), run_with_batch(50)
+
+    single, large = benchmark.pedantic(pair, rounds=1, iterations=1)
+
+    def tx_rate(cluster):
+        return sum(e.batch_size for e in cluster.metrics.commits_at(0)) / RUN_FOR
+
+    report.note(
+        "batching",
+        f"tx throughput: batch=1 {tx_rate(single):.1f}/s vs batch=50 "
+        f"{tx_rate(large):.1f}/s (batching amortizes header+cert overhead)",
+    )
+    assert tx_rate(large) > 2 * tx_rate(single)

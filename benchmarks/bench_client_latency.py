@@ -1,0 +1,63 @@
+"""E12 — client-observed confirmation latency (the SMR contract end to end).
+
+Clients confirm a request once f+1 replicas agree on its commit.  The bench
+measures client-side confirmation latency on the fast path and under the
+asynchronous adversary — the end-user view of "pay the appropriate cost
+depending on the conditions".
+"""
+
+import pytest
+
+from repro.analysis.stats import mean_ci
+from repro.experiments.scenarios import leader_attack_factory
+from repro.runtime.cluster import ClusterBuilder
+
+
+def run_with_clients(attack: bool, seed: int = 27, confirmations: int = 40):
+    builder = (
+        ClusterBuilder(n=4, seed=seed)
+        .with_preload(0)
+        .with_clients(2, outstanding=4, retransmit_interval=60.0)
+    )
+    if attack:
+        builder.with_delay_model_factory(leader_attack_factory())
+    cluster = builder.build()
+    cluster.run(
+        until=200_000,
+        stop_when=lambda: cluster.total_confirmations() >= confirmations,
+    )
+    return cluster
+
+
+@pytest.mark.parametrize("attack", [False, True], ids=["sync", "async-attack"])
+def test_client_confirmation_latency(benchmark, report, attack):
+    cluster = benchmark.pedantic(
+        lambda: run_with_clients(attack), rounds=1, iterations=1
+    )
+    latencies = sorted(
+        latency
+        for client in cluster.clients
+        for latency in client.confirmed_latencies()
+    )
+    assert len(latencies) >= 40
+    p50 = latencies[len(latencies) // 2]
+    p95 = latencies[int(len(latencies) * 0.95)]
+    estimate = mean_ci(latencies)
+    table = report.table(
+        "client",
+        headers=["network", "confirmations", "latency p50 (s)", "p95 (s)", "mean ± CI"],
+        title="Client-observed confirmation latency (f+1 matching replies, n=4)",
+    )
+    table.add_row(
+        "async (leader-attack)" if attack else "sync",
+        len(latencies),
+        f"{p50:.1f}",
+        f"{p95:.1f}",
+        f"{estimate.mean:.1f} [{estimate.low:.1f}, {estimate.high:.1f}]",
+    )
+    benchmark.extra_info["p50"] = p50
+    if not attack:
+        # Fast path: ~commit depth rounds of sub-second delays + queueing.
+        assert p50 < 30.0
+    # Either way the service confirms — the liveness contract end to end.
+    assert cluster.total_confirmations() >= 40

@@ -1,0 +1,108 @@
+"""E3 — Figure 3: anatomy of one asynchronous fallback.
+
+Forces a fallback with the leader-targeting adversary and traces its
+structure: n fallback chains growing through heights 1..3, 2f+1 completed
+chains triggering the coin, the elected chain's endorsement, and the
+steady state resuming from it — the series Figure 3 illustrates.
+"""
+
+import pytest
+
+from repro.experiments.scenarios import build_cluster, leader_attack_factory
+from repro.types.blocks import FallbackBlock
+
+N = 4
+
+
+def run_one_fallback(seed=5):
+    cluster = build_cluster(
+        "fallback-3chain", N, seed=seed, delay_factory=leader_attack_factory()
+    )
+    # Run until the first fallback completes everywhere and a block commits,
+    # then drain in-flight messages so every replica records its exit.
+    cluster.run(
+        until=50_000,
+        stop_when=lambda: cluster.metrics.fallback_count() >= 1
+        and len([e for e in cluster.metrics.fallback_events if e.kind == "exited"]) >= N
+        and cluster.metrics.decisions() >= 1,
+    )
+    cluster.run(until=cluster.scheduler.now + 120.0)
+    return cluster
+
+
+def test_fallback_anatomy(benchmark, report):
+    cluster = benchmark.pedantic(run_one_fallback, rounds=1, iterations=1)
+    metrics = cluster.metrics
+    # Anatomize the most recent fully-observed fallback view (earlier views'
+    # working state is garbage-collected PRUNE_MARGIN views back).
+    exited_views = {e.view for e in metrics.fallback_events if e.kind == "exited"}
+    entered_views = {e.view for e in metrics.fallback_events if e.kind == "entered"}
+    candidates = sorted(exited_views & entered_views)
+    assert candidates, "no fallback completed"
+    target_view = candidates[-1]
+    entered = [e for e in metrics.fallback_events
+               if e.kind == "entered" and e.view == target_view]
+    exited = [e for e in metrics.fallback_events
+              if e.kind == "exited" and e.view == target_view]
+    start = min(e.time for e in entered)
+    end = max(e.time for e in exited)
+    leader = exited[0].leader
+
+    # Chains built: distinct (proposer, height) f-QCs, observed at the
+    # best-informed honest replica (the attack's current target lags).
+    completed_chains = 0
+    for replica in cluster.honest_replicas():
+        heights_per_proposer = {}
+        for (view, proposer, height) in replica.fallback.fqcs:
+            if view == target_view:
+                heights_per_proposer.setdefault(proposer, set()).add(height)
+        completed_here = sum(1 for heights in heights_per_proposer.values()
+                             if heights >= {1, 2, 3})
+        completed_chains = max(completed_chains, completed_here)
+
+    table = report.table(
+        "fallback",
+        headers=["stage", "measured", "paper (Figure 3)"],
+        title="Figure 3 — anatomy of one asynchronous fallback",
+    )
+    table.add_row(f"replicas entered fallback (view {target_view})",
+                  len({e.replica for e in entered}), f"all {N}")
+    table.add_row("f-chains with height-3 f-QC", completed_chains, f">= 2f+1 = {2 * cluster.config.f + 1}")
+    table.add_row("coin-elected leader", leader, "uniform over n")
+    table.add_row("fallback duration (s)", f"{end - start:.1f}", "O(1) message delays past the attack")
+    first_commit = min((e.time for e in metrics.commits), default=None)
+    table.add_row("first committed block", f"t={first_commit:.1f}" if first_commit else "-",
+                  "endorsed height-1 f-block w.p. 2/3")
+    benchmark.extra_info["fallback_duration"] = end - start
+    assert completed_chains >= 2 * cluster.config.f + 1
+
+
+def test_fallback_message_budget(benchmark, report):
+    """Each fallback costs O(n^2): every replica multicasts O(1) messages
+    and answers each chain's votes."""
+    cluster = benchmark.pedantic(run_one_fallback, rounds=1, iterations=1)
+    phases = cluster.metrics.phase_messages()
+    fallbacks = cluster.metrics.fallback_count()
+    per_fallback = phases["view_change"] / max(fallbacks, 1)
+    table = report.table(
+        "fallback",
+        headers=["stage", "measured", "paper (Figure 3)"],
+        title="Figure 3 — anatomy of one asynchronous fallback",
+    )
+    table.add_row("view-change messages per fallback", f"{per_fallback:.0f}",
+                  f"Θ(n²) = Θ({N * N})")
+    benchmark.extra_info["messages_per_fallback"] = per_fallback
+    assert N * N * 0.5 <= per_fallback <= N * N * 20
+
+
+def test_endorsed_chain_reaches_ledger(benchmark, report):
+    cluster = benchmark.pedantic(run_one_fallback, rounds=1, iterations=1)
+    cluster.run(until=cluster.scheduler.now + 500)
+    chains = [r.ledger.committed_blocks() for r in cluster.honest_replicas()]
+    longest = max(chains, key=len)
+    fallback_commits = [b for b in longest if isinstance(b, FallbackBlock)]
+    report.note(
+        "fallback",
+        f"committed fallback blocks in the longest log: {len(fallback_commits)}",
+    )
+    assert longest, "nothing committed after the fallback"

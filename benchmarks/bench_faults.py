@@ -1,0 +1,75 @@
+"""E10 — throughput under Byzantine faults.
+
+The paper's protocol is designed for n = 3f+1: with up to f arbitrary
+faults it must keep committing (via fallbacks when a Byzantine replica's
+leader window stalls).  The bench measures decisions per simulated second
+and fallback counts as the number of silent faults grows from 0 to f, and
+for each Byzantine *behaviour* at full strength.
+"""
+
+import pytest
+
+from repro.analysis.safety import check_cluster_safety
+from repro.faults import (
+    EquivocatingLeader,
+    SilentReplica,
+    StaleQCLeader,
+    WithholdingLeader,
+    byzantine,
+)
+from repro.runtime.cluster import ClusterBuilder
+
+N = 7  # f = 2
+RUN_FOR = 400.0
+
+
+def run_with_faults(count: int, factory=None, seed: int = 15):
+    builder = ClusterBuilder(n=N, seed=seed).with_preload(10_000)
+    factory = factory or byzantine(SilentReplica)
+    for replica_id in range(count):
+        builder.with_byzantine(replica_id * 3, factory)  # spread over windows
+    cluster = builder.build()
+    cluster.run(until=RUN_FOR)
+    return cluster
+
+
+@pytest.mark.parametrize("faults", [0, 1, 2])
+def test_throughput_vs_silent_faults(benchmark, report, faults):
+    cluster = benchmark.pedantic(lambda: run_with_faults(faults), rounds=1, iterations=1)
+    throughput = cluster.metrics.decisions() / RUN_FOR
+    table = report.table(
+        "faults",
+        headers=["faults", "behaviour", "decisions/s", "fallbacks", "safe"],
+        title=f"Throughput under Byzantine faults (n={N}, f={(N - 1) // 3})",
+    )
+    violations = check_cluster_safety(cluster.honest_replicas())
+    table.add_row(faults, "silent", f"{throughput:.2f}",
+                  cluster.metrics.fallback_count(), "yes" if not violations else "NO")
+    benchmark.extra_info["throughput"] = throughput
+    assert cluster.metrics.decisions() > 0
+    assert not violations
+
+
+@pytest.mark.parametrize(
+    "name,factory",
+    [
+        ("withholding", byzantine(WithholdingLeader)),
+        ("equivocating", byzantine(EquivocatingLeader)),
+        ("stale-qc", byzantine(StaleQCLeader)),
+    ],
+)
+def test_throughput_vs_behaviour_at_full_f(benchmark, report, name, factory):
+    cluster = benchmark.pedantic(
+        lambda: run_with_faults(2, factory=factory), rounds=1, iterations=1
+    )
+    throughput = cluster.metrics.decisions() / RUN_FOR
+    violations = check_cluster_safety(cluster.honest_replicas())
+    table = report.table(
+        "faults",
+        headers=["faults", "behaviour", "decisions/s", "fallbacks", "safe"],
+        title=f"Throughput under Byzantine faults (n={N}, f={(N - 1) // 3})",
+    )
+    table.add_row(2, name, f"{throughput:.2f}", cluster.metrics.fallback_count(),
+                  "yes" if not violations else "NO")
+    assert cluster.metrics.decisions() > 0
+    assert not violations

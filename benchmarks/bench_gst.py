@@ -1,0 +1,78 @@
+"""E8 — partial synchrony: behaviour across GST.
+
+The deployment story of the introduction: the network is asynchronous until
+some unknown global stabilization time, then synchronous.  The paper's
+protocol commits *before* GST (via fallbacks) and snaps back to the linear
+fast path after; DiemBFT commits nothing until GST and recovers only then.
+"""
+
+import pytest
+
+from repro.experiments.scenarios import build_cluster
+from repro.net.conditions import (
+    AsynchronousDelay,
+    PartialSynchronyDelay,
+    SynchronousDelay,
+)
+
+GST = 300.0
+END = 800.0
+
+
+def gst_model():
+    # Pre-GST delays are far beyond the 5s round timeout (so rounds fail and
+    # fallbacks run) but bounded enough that a ~10-hop fallback completes
+    # well within the pre-GST window.
+    return PartialSynchronyDelay(
+        gst=GST,
+        before=AsynchronousDelay(base_delay=6.0, tail_scale=10.0, max_delay=35.0),
+        after=SynchronousDelay(delta=1.0),
+    )
+
+
+def run_through_gst(protocol, seed=3):
+    cluster = build_cluster(protocol, 4, seed=seed, delay_model=gst_model())
+    cluster.run(until=END)
+    return cluster
+
+
+@pytest.mark.parametrize("protocol", ["fallback-3chain", "diembft"])
+def test_gst_behaviour(benchmark, report, protocol):
+    cluster = benchmark.pedantic(lambda: run_through_gst(protocol), rounds=1, iterations=1)
+    commits = cluster.metrics.commits_at(cluster.honest_ids[0])
+    pre = sum(1 for event in commits if event.time < GST)
+    post = [event.time for event in commits if event.time >= GST]
+    first_post = min(post) - GST if post else None
+    table = report.table(
+        "gst",
+        headers=["protocol", "commits before GST", "first commit after GST (s)", "paper"],
+        title=f"Partial synchrony — commits across GST={GST} (async before, sync after)",
+    )
+    table.add_row(
+        protocol,
+        pre,
+        f"+{first_post:.1f}" if first_post is not None else "-",
+        "live before GST" if protocol.startswith("fallback") else "recovers only after GST",
+    )
+    benchmark.extra_info["pre_gst_commits"] = pre
+    if protocol == "fallback-3chain":
+        assert pre > 0, "the fallback protocol must commit before GST"
+    assert post, f"{protocol} must commit after GST"
+
+
+def test_fast_path_resumes_after_gst(benchmark, report):
+    cluster = benchmark.pedantic(
+        lambda: run_through_gst("fallback-3chain", seed=5), rounds=1, iterations=1
+    )
+    # After GST settles (allow in-flight tail), no further fallbacks start.
+    late_fallbacks = [
+        event
+        for event in cluster.metrics.fallback_events
+        if event.kind == "entered" and event.time > GST + 120.0
+    ]
+    report.note("gst", f"fallbacks entered after GST+120s: {len(late_fallbacks)}")
+    commits = cluster.metrics.commits_at(cluster.honest_ids[0])
+    late_rate = sum(1 for e in commits if e.time > GST + 120.0) / (END - GST - 120.0)
+    report.note("gst", f"post-GST steady throughput: {late_rate:.2f} blocks/s")
+    assert not late_fallbacks
+    assert late_rate > 0.1

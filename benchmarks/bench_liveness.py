@@ -1,0 +1,124 @@
+"""E4 — Lemma 7 / Theorem 8: liveness and the 2/3 fallback-commit bound.
+
+Runs many independent fallbacks (across seeds) under the asynchronous
+adversary and measures the fraction of fallback views whose endorsed chain
+committed a new block — the paper proves this happens with probability
+≥ 2/3 (the coin must land on one of the ≥ 2f+1 completed chains).  A
+DiemBFT control run shows 0 commits under the same adversary.
+"""
+
+import pytest
+
+from repro.experiments.scenarios import build_cluster, leader_attack_factory
+from repro.types.blocks import FallbackBlock
+
+SEEDS = range(8)
+
+
+def measure_fallback_commits():
+    committed_views = 0
+    exited_views = 0
+    for seed in SEEDS:
+        cluster = build_cluster(
+            "fallback-3chain", 4, seed=seed, delay_factory=leader_attack_factory()
+        )
+        cluster.run_until_commits(10, until=60_000)
+        longest = max(
+            (r.ledger.committed_blocks() for r in cluster.honest_replicas()), key=len
+        )
+        fallback_commit_views = {
+            b.view for b in longest if isinstance(b, FallbackBlock)
+        }
+        views = {
+            e.view for e in cluster.metrics.fallback_events if e.kind == "exited"
+        }
+        exited_views += len(views)
+        committed_views += len(fallback_commit_views & views)
+    return committed_views, exited_views
+
+
+def test_lemma7_commit_probability(benchmark, report):
+    from repro.analysis.stats import proportion_ci
+
+    committed, total = benchmark.pedantic(measure_fallback_commits, rounds=1, iterations=1)
+    estimate = proportion_ci(committed, total)
+    table = report.table(
+        "liveness",
+        headers=["experiment", "measured", "paper claim"],
+        title="Lemma 7 / Theorem 8 — liveness under asynchrony",
+    )
+    table.add_row(
+        f"fallback views committing a block ({total} fallbacks)",
+        f"{estimate.mean:.2f} (95% CI [{estimate.low:.2f}, {estimate.high:.2f}])",
+        ">= 2/3 in expectation",
+    )
+    benchmark.extra_info["fraction"] = estimate.mean
+    benchmark.extra_info["fallbacks"] = total
+    assert total >= 20
+    # The Wilson upper bound must be compatible with the paper's 2/3 bound.
+    assert estimate.high >= 2 / 3
+    assert estimate.mean >= 0.45
+
+
+def test_theorem8_always_live_vs_diembft(benchmark, report):
+    def run_pair():
+        ours = build_cluster(
+            "fallback-3chain", 4, seed=42, delay_factory=leader_attack_factory()
+        )
+        ours.run(until=2_000)
+        baseline = build_cluster(
+            "diembft", 4, seed=42, delay_factory=leader_attack_factory()
+        )
+        baseline.run(until=2_000)
+        return ours, baseline
+
+    ours, baseline = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    table = report.table(
+        "liveness",
+        headers=["experiment", "measured", "paper claim"],
+        title="Lemma 7 / Theorem 8 — liveness under asynchrony",
+    )
+    table.add_row(
+        "ours: decisions in 2000s of attack",
+        ours.metrics.decisions(),
+        "keeps committing (always live)",
+    )
+    table.add_row(
+        "DiemBFT: decisions in 2000s of attack",
+        baseline.metrics.decisions(),
+        "0 (no liveness under asynchrony)",
+    )
+    assert ours.metrics.decisions() > 0
+    assert baseline.metrics.decisions() == 0
+
+
+def test_every_entered_fallback_exits(benchmark, report):
+    """Lemma 7 first half: fallbacks terminate for every honest replica."""
+
+    def run():
+        cluster = build_cluster(
+            "fallback-3chain", 7, seed=9, delay_factory=leader_attack_factory()
+        )
+        cluster.run_until_commits(8, until=60_000)
+        cluster.run(until=cluster.scheduler.now + 1_000)
+        return cluster
+
+    cluster = benchmark.pedantic(run, rounds=1, iterations=1)
+    end_time = cluster.scheduler.now
+    entries = {
+        (e.replica, e.view): e.time
+        for e in cluster.metrics.fallback_events
+        if e.kind == "entered"
+    }
+    exited = {(e.replica, e.view) for e in cluster.metrics.fallback_events
+              if e.kind == "exited"}
+    # Fallbacks entered near the end of the run are legitimately in flight
+    # (the attack delays messages by 60s); anything older must have exited.
+    in_flight_horizon = end_time - 300.0
+    stuck = {
+        key
+        for key, entered_at in entries.items()
+        if key not in exited and entered_at < in_flight_horizon
+    }
+    report.note("liveness", f"fallbacks entered {len(entries)}, exited {len(exited)}")
+    assert not stuck, f"replicas stuck in old fallbacks: {stuck}"

@@ -1,0 +1,72 @@
+"""E5 — Theorem 9: O(n) sync / O(n²) async scaling.
+
+Sweeps cluster sizes, measures messages per decision for the paper's
+protocol on both network regimes, and fits the log-log slope.  The paper's
+claim reproduces as slope ≈ 1 on the synchronous fast path and slope ≈ 2 on
+the asynchronous fallback path.
+"""
+
+import pytest
+
+from repro.analysis.complexity import classify_complexity, fit_loglog_slope
+from repro.experiments.scenarios import run_async_attack, run_sync
+
+SIZES = [4, 7, 10, 16, 31]
+
+
+def sweep_sync():
+    return [run_sync("fallback-3chain", n=n, seed=2, target_commits=30) for n in SIZES]
+
+
+def sweep_async():
+    return [
+        run_async_attack("fallback-3chain", n=n, seed=2, target_commits=8, until=50_000)
+        for n in SIZES
+    ]
+
+
+def test_sync_scaling_is_linear(benchmark, report):
+    results = benchmark.pedantic(sweep_sync, rounds=1, iterations=1)
+    costs = [result.messages_per_decision for result in results]
+    slope = fit_loglog_slope(SIZES, costs)
+    benchmark.extra_info["slope"] = slope
+    table = report.table(
+        "scaling",
+        headers=["n", "sync msgs/dec", "async msgs/dec"],
+        title="Theorem 9 — per-decision message cost vs cluster size",
+    )
+    for n, cost in zip(SIZES, costs):
+        table.add_row(n, cost, "")
+    table.note(f"sync slope {slope:.2f} -> {classify_complexity(slope)} (paper: O(n))")
+    assert 0.7 <= slope <= 1.3, f"sync path slope {slope} is not linear"
+
+
+def test_async_scaling_is_quadratic(benchmark, report):
+    results = benchmark.pedantic(sweep_async, rounds=1, iterations=1)
+    costs = [result.messages_per_decision for result in results]
+    slope = fit_loglog_slope(SIZES, costs)
+    benchmark.extra_info["slope"] = slope
+    table = report.table(
+        "scaling",
+        headers=["n", "sync msgs/dec", "async msgs/dec"],
+        title="Theorem 9 — per-decision message cost vs cluster size",
+    )
+    for n, cost in zip(SIZES, costs):
+        table.add_row(n, "", cost)
+    table.note(f"async slope {slope:.2f} -> {classify_complexity(slope)} (paper: O(n^2))")
+    assert all(result.live for result in results), "fallback must stay live at all sizes"
+    assert 1.6 <= slope <= 2.4, f"async path slope {slope} is not quadratic"
+
+
+def test_bytes_scaling_sync(benchmark, report):
+    """Same claim in bytes: threshold signatures keep certificates O(1), so
+    bytes/decision also scales linearly on the fast path."""
+    results = benchmark.pedantic(sweep_sync, rounds=1, iterations=1)
+    costs = [result.bytes_per_decision for result in results]
+    slope = fit_loglog_slope(SIZES, costs)
+    benchmark.extra_info["slope"] = slope
+    report.note(
+        "scaling",
+        f"bytes/decision sync slope {slope:.2f} (threshold sigs keep certs constant-size)",
+    )
+    assert slope <= 1.4

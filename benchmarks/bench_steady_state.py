@@ -1,0 +1,96 @@
+"""E2 — Figure 1 behaviour: the steady state under synchrony.
+
+Measures the linear fast path: throughput, per-decision message breakdown
+(one proposal multicast + n votes), commit latency in rounds (3-chain = a
+block commits two rounds after its own), and end-to-end transaction latency.
+"""
+
+import pytest
+
+from repro.experiments.scenarios import build_cluster
+
+N = 7
+
+
+def run_steady(n=N, seed=3, commits=60):
+    cluster = build_cluster("fallback-3chain", n, seed=seed)
+    result = cluster.run_until_commits(commits, until=20_000)
+    return cluster, result
+
+
+def test_steady_state_throughput(benchmark, report):
+    cluster, result = benchmark.pedantic(run_steady, rounds=1, iterations=1)
+    decisions = result.decisions
+    elapsed = result.stopped_at
+    table = report.table(
+        "steady",
+        headers=["metric", "value", "paper expectation"],
+        title=f"Figure 1 — steady state under synchrony (n={N})",
+    )
+    table.add_row("blocks/simulated-second", f"{decisions / elapsed:.2f}", "one per ~2 message delays")
+    table.add_row("fallbacks", cluster.metrics.fallback_count(), "0")
+    benchmark.extra_info["throughput"] = decisions / elapsed
+    assert cluster.metrics.fallback_count() == 0
+
+
+def test_message_breakdown_per_decision(benchmark, report):
+    cluster, result = benchmark.pedantic(run_steady, rounds=1, iterations=1)
+    decisions = result.decisions
+    proposals = cluster.metrics.message_counts.get("Proposal", 0) / decisions
+    votes = cluster.metrics.message_counts.get("Vote", 0) / decisions
+    table = report.table(
+        "steady",
+        headers=["metric", "value", "paper expectation"],
+        title=f"Figure 1 — steady state under synchrony (n={N})",
+    )
+    table.add_row("proposal sends/decision", f"{proposals:.1f}", f"n-1 = {N - 1}")
+    table.add_row("vote sends/decision", f"{votes:.1f}", f"~n = {N}")
+    assert proposals <= N
+    assert votes <= N + 1
+
+
+def test_commit_latency_three_rounds(benchmark, report):
+    """A round-r block commits when the round-(r+2) QC forms: measure the
+    wall (simulated) delay between proposal and commit."""
+    cluster, result = benchmark.pedantic(run_steady, rounds=1, iterations=1)
+    # Proposal times by block id.
+    proposal_time = {}
+    for event in cluster.metrics.commits:
+        pass  # commits carry rounds; use round-entry timeline instead
+    entries = {}
+    for replica, round_number, time in cluster.metrics.round_entries:
+        entries.setdefault((replica, round_number), time)
+    gaps = []
+    for event in cluster.metrics.commits_at(0):
+        entry = entries.get((0, event.round))
+        if entry is not None:
+            gaps.append(event.time - entry)
+    assert gaps
+    gaps.sort()
+    median = gaps[len(gaps) // 2]
+    table = report.table(
+        "steady",
+        headers=["metric", "value", "paper expectation"],
+        title=f"Figure 1 — steady state under synchrony (n={N})",
+    )
+    table.add_row("commit lag after round entry (median, s)", f"{median:.2f}",
+                  "≈ 2 rounds of message delays (3-chain)")
+    benchmark.extra_info["median_commit_lag"] = median
+    # Each round is ~2 message delays of <=1s; 2 extra rounds <= ~6s.
+    assert 0.5 <= median <= 8.0
+
+
+def test_end_to_end_latency(benchmark, report):
+    cluster, result = benchmark.pedantic(run_steady, rounds=1, iterations=1)
+    latencies = sorted(cluster.metrics.commit_latencies())
+    p50 = latencies[len(latencies) // 2]
+    p99 = latencies[int(len(latencies) * 0.99)]
+    table = report.table(
+        "steady",
+        headers=["metric", "value", "paper expectation"],
+        title=f"Figure 1 — steady state under synchrony (n={N})",
+    )
+    table.add_row("tx latency p50/p99 (s)", f"{p50:.1f} / {p99:.1f}",
+                  "queueing-dominated (deep backlog)")
+    benchmark.extra_info["p50"] = p50
+    assert p50 > 0

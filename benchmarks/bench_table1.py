@@ -1,0 +1,92 @@
+"""E1 — Table 1: communication complexity and liveness, all rows.
+
+Reproduces the paper's comparison table empirically: for each protocol row
+(HotStuff/DiemBFT, VABA/Dumbo/ACE stand-in, ours 3-chain, ours 2-chain) the
+bench measures messages per committed block under (a) synchrony with honest
+leaders and (b) a leader-targeting asynchronous adversary, and records
+whether the protocol stayed live.
+
+Expected shape (paper): DiemBFT sync O(n) but NOT live under asynchrony;
+always-fallback live but O(n²) everywhere; ours O(n) sync, O(n²) async,
+always live.
+"""
+
+import pytest
+
+from repro.analysis.tables import fmt_cost
+from repro.experiments.scenarios import run_async_attack, run_sync
+from repro.protocols import PROTOCOLS
+
+N = 7
+SEED = 1
+
+
+@pytest.mark.parametrize("protocol", sorted(PROTOCOLS))
+def test_table1_sync_row(benchmark, report, protocol):
+    result = benchmark.pedantic(
+        lambda: run_sync(protocol, n=N, seed=SEED, target_commits=30),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["messages_per_decision"] = result.messages_per_decision
+    benchmark.extra_info["decisions"] = result.decisions
+    table = report.table(
+        "table1",
+        headers=[
+            "protocol",
+            "network",
+            "paper claim",
+            f"measured msgs/decision (n={N})",
+            "live",
+        ],
+        title="Table 1 — communication complexity per decision and liveness",
+    )
+    table.add_row(
+        protocol,
+        "sync",
+        PROTOCOLS[protocol].paper_sync_cost,
+        fmt_cost(result.messages_per_decision),
+        "yes" if result.live else "NO",
+    )
+    assert result.live, f"{protocol} must be live under synchrony"
+    # Linearity / quadraticity sanity at n=7.
+    if PROTOCOLS[protocol].paper_sync_cost == "O(n)":
+        assert result.messages_per_decision < 4 * N
+    else:
+        assert result.messages_per_decision > 3 * N
+
+
+@pytest.mark.parametrize("protocol", sorted(PROTOCOLS))
+def test_table1_async_row(benchmark, report, protocol):
+    result = benchmark.pedantic(
+        lambda: run_async_attack(protocol, n=N, seed=SEED, target_commits=8,
+                                 until=20_000),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["messages_per_decision"] = result.messages_per_decision
+    benchmark.extra_info["decisions"] = result.decisions
+    table = report.table(
+        "table1",
+        headers=[
+            "protocol",
+            "network",
+            "paper claim",
+            f"measured msgs/decision (n={N})",
+            "live",
+        ],
+        title="Table 1 — communication complexity per decision and liveness",
+    )
+    paper = "always live" if PROTOCOLS[protocol].paper_async_live else "not live if async"
+    table.add_row(
+        protocol,
+        "async(leader-attack)",
+        paper,
+        fmt_cost(result.messages_per_decision),
+        "yes" if result.live else "NO",
+    )
+    if PROTOCOLS[protocol].paper_async_live:
+        assert result.live, f"{protocol} must stay live under asynchrony"
+        assert result.messages_per_decision > N  # superlinear under attack
+    else:
+        assert not result.live, "DiemBFT must lose liveness under the attack"

@@ -1,0 +1,73 @@
+"""E9 — ablation: round-timeout choice.
+
+The round timeout is the protocol's only tuning knob: too small and jittery
+synchronous networks trigger spurious fallbacks (paying quadratic cost for
+nothing — though never losing safety or liveness); large and a genuinely
+bad network wastes time before the fallback engages.  The bench sweeps the
+timeout against a jittery-but-synchronous network and reports spurious
+fallback counts and per-decision cost.
+"""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.net.conditions import SynchronousDelay
+from repro.runtime.cluster import ClusterBuilder
+
+#: Jittery synchrony: delays up to 2.0 — a round needs up to ~4s.
+JITTERY = SynchronousDelay(delta=2.0, min_delay=0.2)
+
+TIMEOUTS = [2.0, 5.0, 15.0]
+
+
+def run_with_timeout(timeout: float, seed: int = 8):
+    config = ProtocolConfig(n=4, round_timeout=timeout)
+    cluster = (
+        ClusterBuilder(config=config, seed=seed)
+        .with_delay_model(JITTERY)
+        .build()
+    )
+    cluster.run_until_commits(40, until=30_000)
+    return cluster
+
+
+@pytest.mark.parametrize("timeout", TIMEOUTS)
+def test_timeout_sweep(benchmark, report, timeout):
+    cluster = benchmark.pedantic(lambda: run_with_timeout(timeout), rounds=1, iterations=1)
+    metrics = cluster.metrics
+    table = report.table(
+        "timeout",
+        headers=["round timeout (s)", "spurious fallbacks", "msgs/decision", "decisions"],
+        title="Ablation — round-timeout sensitivity under jittery synchrony (Δ=2)",
+    )
+    table.add_row(
+        timeout,
+        metrics.fallback_count(),
+        f"{metrics.messages_per_decision():.1f}",
+        metrics.decisions(),
+    )
+    benchmark.extra_info["fallbacks"] = metrics.fallback_count()
+    # Liveness and safety hold at every setting; only cost varies.
+    assert metrics.decisions() >= 40
+    from repro.analysis.safety import check_cluster_safety
+
+    assert not check_cluster_safety(cluster.honest_replicas())
+
+
+def test_tight_timeout_costs_more_than_generous(benchmark, report):
+    def sweep():
+        return {t: run_with_timeout(t) for t in (2.0, 15.0)}
+
+    clusters = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    tight = clusters[2.0].metrics
+    generous = clusters[15.0].metrics
+    report.note(
+        "timeout",
+        f"tight (2s): {tight.fallback_count()} fallbacks, "
+        f"{tight.messages_per_decision():.1f} msgs/dec; "
+        f"generous (15s): {generous.fallback_count()} fallbacks, "
+        f"{generous.messages_per_decision():.1f} msgs/dec",
+    )
+    assert generous.fallback_count() == 0
+    assert tight.fallback_count() >= 1
+    assert tight.messages_per_decision() > generous.messages_per_decision()

@@ -1,0 +1,116 @@
+"""E6 — Section 4 / Figure 4: 2-chain commit for free.
+
+Compares the 3-chain and 2-chain variants: commit latency in rounds (the
+paper: 6 rounds -> 4 rounds counting proposal+vote per round), fallback
+chain length (3 heights -> 2), and confirms neither costs extra messages.
+"""
+
+import pytest
+
+from repro.experiments.scenarios import build_cluster, leader_attack_factory
+
+
+def run_sync_pair(commits=40, seed=4, n=4):
+    out = {}
+    for name in ("fallback-3chain", "fallback-2chain"):
+        cluster = build_cluster(name, n, seed=seed)
+        result = cluster.run_until_commits(commits, until=20_000)
+        out[name] = (cluster, result)
+    return out
+
+
+def commit_lag_rounds(cluster):
+    """Median number of rounds between a block's round and the highest round
+    entered when it committed (chain depth at commit time)."""
+    entries = {}
+    for replica, round_number, time in cluster.metrics.round_entries:
+        if replica == 0:
+            entries[round_number] = min(entries.get(round_number, time), time)
+    lags = []
+    for event in cluster.metrics.commits_at(0):
+        rounds_after = [r for r, t in entries.items() if t <= event.time]
+        if rounds_after:
+            lags.append(max(rounds_after) - event.round)
+    lags.sort()
+    return lags[len(lags) // 2] if lags else None
+
+
+def test_commit_latency_in_rounds(benchmark, report):
+    pairs = benchmark.pedantic(run_sync_pair, rounds=1, iterations=1)
+    table = report.table(
+        "two-chain",
+        headers=["variant", "measured", "paper (Section 4)"],
+        title="Section 4 — 2-chain commit strictly improves latency",
+    )
+    lag3 = commit_lag_rounds(pairs["fallback-3chain"][0])
+    lag2 = commit_lag_rounds(pairs["fallback-2chain"][0])
+    table.add_row("3-chain: chain depth at commit (rounds)", lag3, "2 extra rounds (3-chain rule)")
+    table.add_row("2-chain: chain depth at commit (rounds)", lag2, "1 extra round (2-chain rule)")
+    benchmark.extra_info["lag3"] = lag3
+    benchmark.extra_info["lag2"] = lag2
+    assert lag2 < lag3
+
+
+def test_commit_latency_in_time(benchmark, report):
+    pairs = benchmark.pedantic(run_sync_pair, rounds=1, iterations=1)
+    table = report.table(
+        "two-chain",
+        headers=["variant", "measured", "paper (Section 4)"],
+        title="Section 4 — 2-chain commit strictly improves latency",
+    )
+    times = {}
+    for name, (cluster, result) in pairs.items():
+        events = cluster.metrics.commits_at(0)
+        entries = {}
+        for replica, round_number, time in cluster.metrics.round_entries:
+            if replica == 0:
+                entries.setdefault(round_number, time)
+        lags = sorted(
+            event.time - entries[event.round]
+            for event in events
+            if event.round in entries
+        )
+        times[name] = lags[len(lags) // 2]
+        table.add_row(f"{name}: commit lag after round entry (s)", f"{times[name]:.2f}",
+                      "4 rounds vs 6 rounds of latency")
+    assert times["fallback-2chain"] < times["fallback-3chain"]
+
+
+def test_fallback_chain_is_shorter(benchmark, report):
+    def run_attacked_pair():
+        out = {}
+        for name in ("fallback-3chain", "fallback-2chain"):
+            cluster = build_cluster(
+                name, 4, seed=6, delay_factory=leader_attack_factory()
+            )
+            cluster.run_until_commits(5, until=50_000)
+            out[name] = cluster
+        return out
+
+    clusters = benchmark.pedantic(run_attacked_pair, rounds=1, iterations=1)
+    table = report.table(
+        "two-chain",
+        headers=["variant", "measured", "paper (Section 4)"],
+        title="Section 4 — 2-chain commit strictly improves latency",
+    )
+    for name, cluster in clusters.items():
+        engine = cluster.honest_replicas()[0].fallback
+        max_height = max(
+            (height for (_view, _proposer, height) in engine.fqcs), default=0
+        )
+        table.add_row(f"{name}: max f-chain height", max_height,
+                      "3 heights vs 2 heights per fallback chain")
+        assert max_height == cluster.config.fallback_top_height
+        assert cluster.metrics.decisions() >= 5
+
+
+def test_sync_cost_unchanged(benchmark, report):
+    pairs = benchmark.pedantic(run_sync_pair, rounds=1, iterations=1)
+    cost3 = pairs["fallback-3chain"][0].metrics.messages_per_decision()
+    cost2 = pairs["fallback-2chain"][0].metrics.messages_per_decision()
+    report.note(
+        "two-chain",
+        f"sync msgs/decision: 3-chain {cost3:.1f} vs 2-chain {cost2:.1f} "
+        "(latency gain costs nothing)",
+    )
+    assert abs(cost3 - cost2) / cost3 < 0.25

@@ -1,0 +1,66 @@
+"""Benchmark harness plumbing.
+
+Benches record the table rows they reproduce through the ``report`` fixture;
+this conftest prints every recorded table in the terminal summary, so the
+output of ``pytest benchmarks/ --benchmark-only`` contains the reproduced
+paper artifacts alongside pytest-benchmark's timing table.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import pytest
+
+from repro.analysis.tables import render_table
+
+_REPORTS: "OrderedDict[str, dict]" = OrderedDict()
+
+
+class ReportRegistry:
+    """Collects named tables produced by benchmark runs."""
+
+    def table(self, name: str, headers, title: str = "") -> "TableHandle":
+        entry = _REPORTS.setdefault(
+            name, {"headers": list(headers), "title": title or name, "rows": []}
+        )
+        return TableHandle(entry)
+
+    def note(self, name: str, text: str) -> None:
+        _REPORTS.setdefault(name, {"headers": None, "title": name, "rows": []})
+        _REPORTS[name].setdefault("notes", []).append(text)
+
+
+class TableHandle:
+    def __init__(self, entry: dict) -> None:
+        self._entry = entry
+
+    def add_row(self, *cells) -> None:
+        self._entry["rows"].append(list(cells))
+
+    def note(self, text: str) -> None:
+        self._entry.setdefault("notes", []).append(text)
+
+
+@pytest.fixture(scope="session")
+def report() -> ReportRegistry:
+    return ReportRegistry()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    write = terminalreporter.write_line
+    write("")
+    write("=" * 78)
+    write("REPRODUCED PAPER ARTIFACTS")
+    write("=" * 78)
+    for entry in _REPORTS.values():
+        write("")
+        if entry["headers"] is not None and entry["rows"]:
+            write(render_table(entry["headers"], entry["rows"], title=entry["title"]))
+        else:
+            write(entry["title"])
+        for note in entry.get("notes", []):
+            write(f"  note: {note}")
+    _REPORTS.clear()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Byzantine leaders: the protocol commits right through them.
+
+Replica 0 (the leader of rounds 1-4, 17-20, ... under the paper's 4-round
+rotation) is Byzantine.  Three scenarios run back to back:
+
+1. withholding  — it never proposes, so its rounds time out,
+2. equivocating — it proposes two conflicting blocks per round,
+3. stale-qc     — it proposes blocks extending genesis forever.
+
+In every case the asynchronous view-change fires on its leader windows, a
+random leader's fallback chain takes over, and the steady state resumes with
+the next honest rotation.  Safety holds throughout.
+
+Run:  python examples/byzantine_leader.py
+"""
+
+from repro import ClusterBuilder
+from repro.analysis.safety import assert_cluster_safety
+from repro.faults import (
+    EquivocatingLeader,
+    StaleQCLeader,
+    WithholdingLeader,
+    byzantine,
+)
+
+SCENARIOS = [
+    ("withholding leader", byzantine(WithholdingLeader)),
+    ("equivocating leader", byzantine(EquivocatingLeader)),
+    ("stale-qc leader", byzantine(StaleQCLeader)),
+]
+
+
+def main() -> None:
+    print("=== Byzantine leader scenarios (n=4, replica 0 Byzantine) ===\n")
+    for name, factory in SCENARIOS:
+        cluster = (
+            ClusterBuilder(n=4, seed=13)
+            .with_byzantine(0, factory)
+            .build()
+        )
+        result = cluster.run_until_commits(20, until=30_000)
+        chain = result.committed_chain()
+        authors = sorted(
+            {getattr(block, "author", getattr(block, "proposer", None)) for block in chain}
+        )
+        fallback_blocks = sum(
+            1 for block in chain if type(block).__name__ == "FallbackBlock"
+        )
+        assert_cluster_safety(cluster.honest_replicas())
+        print(f"--- {name} ---")
+        print(f"  blocks committed     : {result.decisions}")
+        print(f"  fallbacks triggered  : {cluster.metrics.fallback_count()}")
+        print(f"  fallback blocks in log: {fallback_blocks}")
+        print(f"  committed authors    : {authors} (0 only via endorsed f-chains, if at all)")
+        print(f"  simulated time       : {result.stopped_at:.1f}s")
+        print("  safety               : OK\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Reproduce Table 1 at a glance: four protocols, two network regimes.
+
+For each protocol (ours 3-chain, ours 2-chain, DiemBFT baseline, and the
+always-quadratic asynchronous baseline) the script measures messages per
+decision under (a) synchrony and (b) a leader-targeting asynchronous
+adversary, and reports liveness — the empirical version of the paper's
+comparison table.
+
+Run:  python examples/compare_protocols.py  [n]
+"""
+
+import sys
+
+from repro.analysis.tables import fmt_cost, render_table
+from repro.experiments.scenarios import run_async_attack, run_sync
+from repro.protocols import PROTOCOLS
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    rows = []
+    for name, spec in PROTOCOLS.items():
+        sync = run_sync(name, n=n, seed=1, target_commits=30)
+        attack = run_async_attack(name, n=n, seed=1, target_commits=8, until=20_000)
+        rows.append(
+            [
+                name,
+                spec.paper_sync_cost,
+                fmt_cost(sync.messages_per_decision),
+                "live" if spec.paper_async_live else "not live",
+                fmt_cost(attack.messages_per_decision),
+                "live" if attack.live else "NOT LIVE",
+            ]
+        )
+    print(
+        render_table(
+            [
+                "protocol",
+                "paper sync",
+                f"measured sync (msgs/dec, n={n})",
+                "paper async",
+                "measured async (msgs/dec)",
+                "measured async liveness",
+            ],
+            rows,
+            title=f"Table 1 reproduced empirically at n={n}",
+        )
+    )
+    print(
+        "\nReading: ours matches DiemBFT's linear cost under synchrony, stays "
+        "live under the\nleader-targeting asynchronous adversary at quadratic "
+        "cost, while DiemBFT stops and the\nalways-fallback baseline pays "
+        "quadratic cost even when the network is good."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""repro — reproduction of "Be Prepared When Network Goes Bad" (PODC 2021).
+
+A BFT SMR protocol that is linear under synchrony with honest leaders,
+quadratic under asynchrony, and always live — DiemBFT's steady state plus an
+asynchronous view-change (fallback) protocol — together with the substrates
+needed to run and evaluate it: a deterministic discrete-event network
+simulator, ideal-model crypto, baselines, fault injection, and a benchmark
+harness reproducing the paper's Table 1 and analytic claims.
+
+Quickstart::
+
+    from repro import ClusterBuilder
+
+    cluster = ClusterBuilder(n=4, seed=1).build()
+    result = cluster.run_until_commits(20)
+    print(result.metrics.summary())
+"""
+
+from typing import TYPE_CHECKING
+
+__version__ = "1.0.0"
+
+# Public API is re-exported lazily (PEP 562) so that importing a substrate
+# (e.g. repro.sim) never pulls in the whole runtime stack.
+_EXPORTS = {
+    "AsynchronousDelay": "repro.net.conditions",
+    "Cluster": "repro.runtime.cluster",
+    "ClusterBuilder": "repro.runtime.cluster",
+    "LeaderTargetingAdversary": "repro.net.conditions",
+    "NetworkSchedule": "repro.net.conditions",
+    "PartialSynchronyDelay": "repro.net.conditions",
+    "PartitionDelay": "repro.net.conditions",
+    "ProtocolConfig": "repro.core.config",
+    "ProtocolVariant": "repro.core.config",
+    "RunResult": "repro.runtime.cluster",
+    "SynchronousDelay": "repro.net.conditions",
+}
+
+__all__ = sorted(_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, name)
+
+
+if TYPE_CHECKING:  # pragma: no cover - typing aid only
+    from repro.core.config import ProtocolConfig, ProtocolVariant  # noqa: F401
+    from repro.net.conditions import (  # noqa: F401
+        AsynchronousDelay,
+        LeaderTargetingAdversary,
+        NetworkSchedule,
+        PartialSynchronyDelay,
+        PartitionDelay,
+        SynchronousDelay,
+    )
+    from repro.runtime.cluster import Cluster, ClusterBuilder, RunResult  # noqa: F401

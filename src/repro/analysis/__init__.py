@@ -1,0 +1,11 @@
+"""Analysis: global safety checking, complexity fits, result tables."""
+
+from repro.analysis.complexity import fit_loglog_slope, per_decision_costs
+from repro.analysis.safety import SafetyViolation, check_cluster_safety
+
+__all__ = [
+    "SafetyViolation",
+    "check_cluster_safety",
+    "fit_loglog_slope",
+    "per_decision_costs",
+]

@@ -1,0 +1,161 @@
+"""Global safety checking across a cluster's replicas.
+
+These checks correspond to the paper's theorems and lemmas:
+
+- **Theorem 6 (Safety)**: committed logs at honest replicas agree at every
+  position (prefix consistency).
+- **Lemma 1**: no two distinct certified/endorsed blocks share a (view,
+  round) — checked over the blocks that actually got committed.
+- **Lemma 2**: along any committed chain, adjacent blocks have consecutive
+  round numbers and nondecreasing view numbers.
+
+The checker is used by tests after every adversarial run: a run "passes"
+only if the whole cluster state satisfies these invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.replica import Replica
+
+
+@dataclass
+class SafetyViolation:
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.detail}"
+
+
+def check_cluster_safety(replicas: Sequence[Replica]) -> list[SafetyViolation]:
+    """Run all safety checks; returns the (hopefully empty) violation list."""
+    violations: list[SafetyViolation] = []
+    violations.extend(_check_prefix_consistency(replicas))
+    violations.extend(_check_unique_per_round(replicas))
+    for replica in replicas:
+        violations.extend(_check_chain_laws(replica))
+    return violations
+
+
+def assert_cluster_safety(replicas: Sequence[Replica]) -> None:
+    violations = check_cluster_safety(replicas)
+    if violations:
+        summary = "; ".join(str(violation) for violation in violations[:5])
+        raise AssertionError(
+            f"{len(violations)} safety violation(s): {summary}"
+        )
+
+
+def _check_prefix_consistency(replicas: Sequence[Replica]) -> list[SafetyViolation]:
+    """Theorem 6: same block id at every common log position."""
+    violations = []
+    logs = [replica.ledger.committed_ids() for replica in replicas]
+    if not logs:
+        return violations
+    for position in range(max(len(log) for log in logs)):
+        ids_here = {
+            (replica.process_id, log[position])
+            for replica, log in zip(replicas, logs)
+            if position < len(log)
+        }
+        distinct = {block_id for _, block_id in ids_here}
+        if len(distinct) > 1:
+            violations.append(
+                SafetyViolation(
+                    kind="prefix-divergence",
+                    detail=f"position {position} has blocks {sorted(distinct)}",
+                )
+            )
+    return violations
+
+
+def _check_unique_per_round(replicas: Sequence[Replica]) -> list[SafetyViolation]:
+    """Lemma 1 over committed blocks: one block per (view, round, kind)."""
+    violations = []
+    seen: dict[tuple, str] = {}
+    for replica in replicas:
+        for block in replica.ledger.committed_blocks():
+            kind = type(block).__name__
+            key = (block.view, block.round, kind)
+            existing = seen.get(key)
+            if existing is None:
+                seen[key] = block.id
+            elif existing != block.id:
+                violations.append(
+                    SafetyViolation(
+                        kind="duplicate-round",
+                        detail=(
+                            f"two committed {kind}s at view {block.view} round "
+                            f"{block.round}: {existing[:8]} vs {block.id[:8]}"
+                        ),
+                    )
+                )
+    return violations
+
+
+def _check_chain_laws(replica: Replica) -> list[SafetyViolation]:
+    """Lemma 2 along the replica's committed chain.
+
+    The consecutive-round law only binds the fallback variants (their Vote
+    rule requires r == qc.r + 1); the original DiemBFT pacemaker advances
+    rounds via TCs, so its chains may legitimately skip round numbers.
+    """
+    violations = []
+    blocks = replica.ledger.committed_blocks()
+    previous = replica.store.genesis
+    strict_rounds = replica.config.strict_round_chaining
+    for block in blocks:
+        if block.parent_id != previous.id:
+            violations.append(
+                SafetyViolation(
+                    kind="broken-chain",
+                    detail=(
+                        f"replica {replica.process_id}: block r={block.round} does "
+                        f"not extend the previous committed block"
+                    ),
+                )
+            )
+        if strict_rounds and block.round != previous.round + 1:
+            violations.append(
+                SafetyViolation(
+                    kind="non-consecutive-rounds",
+                    detail=(
+                        f"replica {replica.process_id}: rounds {previous.round} -> "
+                        f"{block.round}"
+                    ),
+                )
+            )
+        elif block.round <= previous.round:
+            violations.append(
+                SafetyViolation(
+                    kind="non-increasing-rounds",
+                    detail=(
+                        f"replica {replica.process_id}: rounds {previous.round} -> "
+                        f"{block.round}"
+                    ),
+                )
+            )
+        if block.view < previous.view:
+            violations.append(
+                SafetyViolation(
+                    kind="decreasing-views",
+                    detail=(
+                        f"replica {replica.process_id}: views {previous.view} -> "
+                        f"{block.view}"
+                    ),
+                )
+            )
+        previous = block
+    return violations
+
+
+def divergence_point(a: Replica, b: Replica) -> Optional[int]:
+    """First log position where two replicas disagree (None if consistent)."""
+    log_a, log_b = a.ledger.committed_ids(), b.ledger.committed_ids()
+    for position in range(min(len(log_a), len(log_b))):
+        if log_a[position] != log_b[position]:
+            return position
+    return None

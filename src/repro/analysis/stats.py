@@ -1,0 +1,90 @@
+"""Statistics helpers for multi-seed experiments.
+
+Single-run numbers are deterministic given a seed, but claims like
+"the fallback commits with probability ≥ 2/3" are statistical: the benches
+repeat runs over seeds and report means with confidence intervals.  These
+helpers wrap the small amount of scipy needed for that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from scipy import stats as _scipy_stats
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A mean with a symmetric confidence interval."""
+
+    mean: float
+    low: float
+    high: float
+    confidence: float
+    samples: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.3f} "
+            f"[{self.low:.3f}, {self.high:.3f}] "
+            f"@{self.confidence:.0%} (n={self.samples})"
+        )
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def mean_ci(values: Sequence[float], confidence: float = 0.95) -> Estimate:
+    """Student-t confidence interval for the mean of ``values``."""
+    if not values:
+        raise ValueError("need at least one sample")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return Estimate(mean=mean, low=mean, high=mean, confidence=confidence, samples=1)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    sem = math.sqrt(variance / n)
+    if sem == 0:
+        return Estimate(mean=mean, low=mean, high=mean, confidence=confidence, samples=n)
+    half_width = float(_scipy_stats.t.ppf((1 + confidence) / 2, n - 1)) * sem
+    return Estimate(
+        mean=mean,
+        low=mean - half_width,
+        high=mean + half_width,
+        confidence=confidence,
+        samples=n,
+    )
+
+
+def proportion_ci(successes: int, trials: int, confidence: float = 0.95) -> Estimate:
+    """Wilson score interval for a binomial proportion.
+
+    Used for Lemma 7's per-fallback commit probability: robust at small
+    sample sizes where the normal approximation misbehaves.
+    """
+    if trials <= 0:
+        raise ValueError("need at least one trial")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes out of range")
+    z = float(_scipy_stats.norm.ppf((1 + confidence) / 2))
+    phat = successes / trials
+    denominator = 1 + z * z / trials
+    center = (phat + z * z / (2 * trials)) / denominator
+    margin = (
+        z
+        * math.sqrt(phat * (1 - phat) / trials + z * z / (4 * trials * trials))
+        / denominator
+    )
+    # In exact arithmetic the Wilson interval always contains phat (it
+    # equals the bound exactly at 0/n and n/n); clamp away float noise.
+    low = min(max(0.0, center - margin), phat)
+    high = max(min(1.0, center + margin), phat)
+    return Estimate(
+        mean=phat,
+        low=low,
+        high=high,
+        confidence=confidence,
+        samples=trials,
+    )

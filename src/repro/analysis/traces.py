@@ -1,0 +1,128 @@
+"""Structured run timelines (the data behind Figure-3-style plots).
+
+``Timeline`` turns a finished cluster's metrics into an ordered list of
+typed events (round entries, timeouts, fallback entry/exit, commits), with
+filters and an ASCII rendering.  Examples and debugging sessions use it to
+see *what happened when* without groveling through raw metric lists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.runtime.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timeline entry."""
+
+    time: float
+    kind: str  # round | timeout | fallback-enter | fallback-exit | commit
+    replica: int
+    detail: str
+
+    def render(self) -> str:
+        return f"t={self.time:9.2f}  r{self.replica}  {self.kind:<14s} {self.detail}"
+
+
+@dataclass
+class Timeline:
+    """Ordered trace of a run."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    @classmethod
+    def from_cluster(cls, cluster: Cluster) -> "Timeline":
+        events: list[TraceEvent] = []
+        for replica, round_number, time in cluster.metrics.round_entries:
+            events.append(
+                TraceEvent(time, "round", replica, f"entered round {round_number}")
+            )
+        for replica, view, round_number, time in cluster.metrics.timeouts:
+            events.append(
+                TraceEvent(
+                    time, "timeout", replica,
+                    f"round {round_number} timed out (view {view})",
+                )
+            )
+        for fb in cluster.metrics.fallback_events:
+            if fb.kind == "entered":
+                events.append(
+                    TraceEvent(fb.time, "fallback-enter", fb.replica, f"view {fb.view}")
+                )
+            else:
+                events.append(
+                    TraceEvent(
+                        fb.time, "fallback-exit", fb.replica,
+                        f"view {fb.view}, coin elected {fb.leader}",
+                    )
+                )
+        for commit in cluster.metrics.commits:
+            kind = "f-block" if commit.fallback_block else "block"
+            events.append(
+                TraceEvent(
+                    commit.time, "commit", commit.replica,
+                    f"{kind} #{commit.position} (round {commit.round}, view {commit.view})",
+                )
+            )
+        events.sort(key=lambda event: (event.time, event.replica, event.kind))
+        return cls(events=events)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def filter(
+        self,
+        kinds: Optional[Iterable[str]] = None,
+        replica: Optional[int] = None,
+        start: float = float("-inf"),
+        end: float = float("inf"),
+    ) -> "Timeline":
+        kind_set = set(kinds) if kinds is not None else None
+        return Timeline(
+            events=[
+                event
+                for event in self.events
+                if (kind_set is None or event.kind in kind_set)
+                and (replica is None or event.replica == replica)
+                and start <= event.time <= end
+            ]
+        )
+
+    def first(self, kind: str) -> Optional[TraceEvent]:
+        for event in self.events:
+            if event.kind == kind:
+                return event
+        return None
+
+    def fallback_spans(self) -> list[tuple[int, int, float, Optional[float]]]:
+        """(replica, view, entered_at, exited_at|None) per fallback."""
+        entered: dict[tuple[int, int], float] = {}
+        spans: list[tuple[int, int, float, Optional[float]]] = []
+        for event in self.events:
+            key = (event.replica, _view_of(event))
+            if event.kind == "fallback-enter":
+                entered[key] = event.time
+            elif event.kind == "fallback-exit" and key in entered:
+                spans.append((event.replica, key[1], entered.pop(key), event.time))
+        for (replica, view), start in entered.items():
+            spans.append((replica, view, start, None))
+        spans.sort(key=lambda span: span[2])
+        return spans
+
+    def render(self, limit: Optional[int] = None) -> str:
+        chosen = self.events if limit is None else self.events[:limit]
+        return "\n".join(event.render() for event in chosen)
+
+
+def _view_of(event: TraceEvent) -> int:
+    # Detail strings for fallback events start with "view <v>".
+    try:
+        return int(event.detail.split()[1].rstrip(","))
+    except (IndexError, ValueError):
+        return -1

@@ -1,0 +1,21 @@
+"""Baseline protocols the paper compares against (Table 1 rows).
+
+Two baselines are implemented from scratch in this repository:
+
+- **DiemBFT with the original quadratic pacemaker** (the HotStuff/Diem row):
+  assembled from the same replica machinery with
+  :class:`~repro.core.pacemaker.PacemakerEngine` — see
+  ``preset("diembft")``.  Linear under synchrony, loses liveness under
+  asynchrony.
+
+- **The always-quadratic asynchronous baseline** (the VABA / Dumbo / ACE
+  row): :class:`AlwaysFallbackReplica` below.  It never runs the fast path —
+  every decision goes through the asynchronous fallback ("make progress as
+  if every node is the leader and retroactively decide on a leader"), which
+  is the structural pattern of those protocols and matches their O(n²)
+  per-decision cost and always-live guarantee.
+"""
+
+from repro.baselines.always_fallback import AlwaysFallbackReplica, always_fallback_cluster
+
+__all__ = ["AlwaysFallbackReplica", "always_fallback_cluster"]

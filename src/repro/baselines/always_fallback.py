@@ -1,0 +1,57 @@
+"""The always-quadratic asynchronous baseline (VABA/ACE stand-in).
+
+The state-of-the-art asynchronous protocols (VABA, Dumbo, ACE) follow the
+pattern: every replica drives a leader-like instance, and once enough
+instances finish, a retroactive coin flip picks whose output counts.  Our
+fallback machinery *is* that pattern, so the baseline is simply "run the
+fallback for every decision, never the fast path":
+
+- on start, every replica immediately times out (no steady-state attempt),
+- on exiting a fallback it immediately times out of the next view,
+- steady-state proposals are disabled.
+
+:class:`~repro.core.replica.Replica` already implements this behaviour when
+``ProtocolConfig.variant == ALWAYS_FALLBACK``; this module provides the
+explicit subclass (for readers looking for "the VABA baseline class") plus a
+convenience cluster constructor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.core.config import ProtocolConfig, ProtocolVariant
+from repro.core.replica import Replica
+from repro.net.conditions import DelayModel
+from repro.runtime.cluster import Cluster, ClusterBuilder
+
+
+class AlwaysFallbackReplica(Replica):
+    """A replica hard-wired to the always-fallback (quadratic) protocol.
+
+    The constructor forces the ALWAYS_FALLBACK variant regardless of the
+    config passed in, so this class can be dropped into any cluster as "the
+    asynchronous-protocol replica".
+    """
+
+    def __init__(self, replica_id, config: ProtocolConfig, *args, **kwargs) -> None:
+        if config.variant != ProtocolVariant.ALWAYS_FALLBACK:
+            config = replace(config, variant=ProtocolVariant.ALWAYS_FALLBACK)
+        super().__init__(replica_id, config, *args, **kwargs)
+
+
+def always_fallback_cluster(
+    n: int = 4,
+    seed: int = 0,
+    delay_model: Optional[DelayModel] = None,
+    **config_overrides,
+) -> Cluster:
+    """Build a cluster running the quadratic baseline."""
+    config = ProtocolConfig(
+        n=n, variant=ProtocolVariant.ALWAYS_FALLBACK, **config_overrides
+    )
+    builder = ClusterBuilder(config=config, seed=seed)
+    if delay_model is not None:
+        builder.with_delay_model(delay_model)
+    return builder.build()

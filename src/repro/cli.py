@@ -1,0 +1,256 @@
+"""Command-line interface: run protocols and experiments from a shell.
+
+Examples::
+
+    python -m repro protocols
+    python -m repro run --protocol fallback-3chain --n 7 --network attack --commits 20
+    python -m repro run --n 4 --byzantine 0:withhold --commits 30
+    python -m repro table1 --n 7
+    python -m repro scaling --sizes 4 7 10 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.complexity import classify_complexity, fit_loglog_slope
+from repro.analysis.safety import check_cluster_safety
+from repro.analysis.tables import fmt_cost, render_table
+from repro.core.config import ProtocolConfig
+from repro.experiments.scenarios import (
+    build_cluster,
+    leader_attack_factory,
+    run_async_attack,
+    run_sync,
+)
+from repro.faults import (
+    CrashReplica,
+    EquivocatingLeader,
+    NonVoter,
+    SilentReplica,
+    StaleQCLeader,
+    WithholdingLeader,
+    byzantine,
+)
+from repro.net.conditions import (
+    AsynchronousDelay,
+    PartialSynchronyDelay,
+    PartitionDelay,
+    SynchronousDelay,
+)
+from repro.protocols import PROTOCOLS, preset
+from repro.runtime.cluster import ClusterBuilder
+
+BEHAVIOURS = {
+    "silent": lambda arg: byzantine(SilentReplica),
+    "crash": lambda arg: byzantine(CrashReplica, crash_at=float(arg or 30.0)),
+    "nonvoter": lambda arg: byzantine(NonVoter),
+    "withhold": lambda arg: byzantine(WithholdingLeader),
+    "equivocate": lambda arg: byzantine(EquivocatingLeader),
+    "staleqc": lambda arg: byzantine(StaleQCLeader),
+}
+
+
+def _parse_byzantine(specs: Sequence[str]):
+    """Parse ``replica:behaviour[@arg]`` specs, e.g. ``2:crash@25``."""
+    parsed = []
+    for spec in specs:
+        try:
+            replica_text, behaviour_text = spec.split(":", 1)
+            if "@" in behaviour_text:
+                name, arg = behaviour_text.split("@", 1)
+            else:
+                name, arg = behaviour_text, None
+            factory = BEHAVIOURS[name](arg)
+        except (ValueError, KeyError):
+            known = ", ".join(sorted(BEHAVIOURS))
+            raise SystemExit(
+                f"bad --byzantine spec {spec!r}; expected replica:behaviour[@arg] "
+                f"with behaviour in {{{known}}}"
+            )
+        parsed.append((int(replica_text), factory))
+    return parsed
+
+
+def _network_args(args, builder: ClusterBuilder) -> None:
+    if args.network == "sync":
+        builder.with_delay_model(SynchronousDelay(delta=args.delta))
+    elif args.network == "async":
+        builder.with_delay_model(
+            AsynchronousDelay(base_delay=args.delta, tail_scale=8 * args.delta,
+                              max_delay=60 * args.delta)
+        )
+    elif args.network == "attack":
+        builder.with_delay_model_factory(leader_attack_factory())
+    elif args.network == "gst":
+        builder.with_delay_model(
+            PartialSynchronyDelay(
+                gst=args.gst,
+                before=AsynchronousDelay(base_delay=6.0, tail_scale=10.0, max_delay=35.0),
+                after=SynchronousDelay(delta=args.delta),
+            )
+        )
+    elif args.network == "partition":
+        half = args.n // 2
+        builder.with_delay_model(
+            PartitionDelay(
+                groups=[list(range(half)), list(range(half, args.n))],
+                heal_time=args.heal,
+                base=SynchronousDelay(delta=args.delta),
+            )
+        )
+
+
+def cmd_protocols(args) -> int:
+    rows = [
+        [name, spec.description, spec.paper_sync_cost,
+         "always live" if spec.paper_async_live else "not live if async"]
+        for name, spec in PROTOCOLS.items()
+    ]
+    print(render_table(["name", "description", "sync cost", "asynchrony"], rows,
+                       title="Available protocols"))
+    return 0
+
+
+def cmd_run(args) -> int:
+    config = preset(args.protocol).config(
+        args.n,
+        round_timeout=args.timeout,
+        **({"fallback_adoption": True} if args.adoption else {}),
+    )
+    builder = ClusterBuilder(config=config, seed=args.seed).with_preload(args.preload)
+    _network_args(args, builder)
+    for replica_id, factory in _parse_byzantine(args.byzantine):
+        builder.with_byzantine(replica_id, factory)
+    cluster = builder.build()
+    result = cluster.run_until_commits(args.commits, until=args.until)
+    metrics = cluster.metrics
+    violations = check_cluster_safety(cluster.honest_replicas())
+    payload = {
+        "protocol": args.protocol,
+        "n": args.n,
+        "seed": args.seed,
+        "network": args.network,
+        "decisions": metrics.decisions(),
+        "live": metrics.decisions() > 0,
+        "simulated_time": result.stopped_at,
+        "messages": metrics.honest_messages,
+        "bytes": metrics.honest_bytes,
+        "messages_per_decision": metrics.messages_per_decision(),
+        "fallbacks": metrics.fallback_count(),
+        "phases": metrics.phase_messages(),
+        "safety_violations": [str(v) for v in violations],
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(metrics.summary())
+        print(f"simulated time: {result.stopped_at:.1f}s")
+        print(f"safety: {'OK' if not violations else violations}")
+    return 0 if not violations else 2
+
+
+def cmd_table1(args) -> int:
+    rows = []
+    for name in sorted(PROTOCOLS):
+        sync = run_sync(name, n=args.n, seed=args.seed, target_commits=args.commits)
+        attack = run_async_attack(name, n=args.n, seed=args.seed,
+                                  target_commits=max(args.commits // 4, 4),
+                                  until=args.until)
+        rows.append([
+            name,
+            PROTOCOLS[name].paper_sync_cost,
+            fmt_cost(sync.messages_per_decision),
+            fmt_cost(attack.messages_per_decision),
+            "live" if attack.live else "NOT LIVE",
+        ])
+    print(render_table(
+        ["protocol", "paper sync", "sync msgs/dec", "async msgs/dec", "async liveness"],
+        rows,
+        title=f"Table 1 at n={args.n}",
+    ))
+    return 0
+
+
+def cmd_scaling(args) -> int:
+    rows = []
+    sync_costs, async_costs = [], []
+    for n in args.sizes:
+        sync = run_sync("fallback-3chain", n=n, seed=args.seed, target_commits=30)
+        attack = run_async_attack("fallback-3chain", n=n, seed=args.seed,
+                                  target_commits=8, until=args.until)
+        sync_costs.append(sync.messages_per_decision)
+        async_costs.append(attack.messages_per_decision)
+        rows.append([n, fmt_cost(sync.messages_per_decision),
+                     fmt_cost(attack.messages_per_decision)])
+    print(render_table(["n", "sync msgs/dec", "async msgs/dec"], rows,
+                       title="Theorem 9 scaling"))
+    if len(args.sizes) >= 2:
+        sync_slope = fit_loglog_slope(args.sizes, sync_costs)
+        async_slope = fit_loglog_slope(args.sizes, async_costs)
+        print(f"sync slope  {sync_slope:.2f} ({classify_complexity(sync_slope)})")
+        print(f"async slope {async_slope:.2f} ({classify_complexity(async_slope)})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BFT SMR with asynchronous fallback (PODC'21 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("protocols", help="list available protocol presets")
+
+    run = sub.add_parser("run", help="run one cluster and report metrics")
+    run.add_argument("--protocol", default="fallback-3chain", choices=sorted(PROTOCOLS))
+    run.add_argument("--n", type=int, default=4)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--network", default="sync",
+                     choices=["sync", "async", "attack", "gst", "partition"])
+    run.add_argument("--commits", type=int, default=30)
+    run.add_argument("--until", type=float, default=50_000.0)
+    run.add_argument("--timeout", type=float, default=5.0, help="round timeout")
+    run.add_argument("--delta", type=float, default=1.0, help="sync delay bound")
+    run.add_argument("--gst", type=float, default=300.0)
+    run.add_argument("--heal", type=float, default=60.0, help="partition heal time")
+    run.add_argument("--preload", type=int, default=10_000)
+    run.add_argument("--adoption", action="store_true",
+                     help="enable fallback chain adoption")
+    run.add_argument("--byzantine", action="append", default=[],
+                     metavar="ID:BEHAVIOUR[@ARG]",
+                     help="e.g. 0:withhold or 2:crash@25 (repeatable)")
+    run.add_argument("--json", action="store_true")
+
+    table1 = sub.add_parser("table1", help="reproduce Table 1")
+    table1.add_argument("--n", type=int, default=4)
+    table1.add_argument("--seed", type=int, default=1)
+    table1.add_argument("--commits", type=int, default=30)
+    table1.add_argument("--until", type=float, default=20_000.0)
+
+    scaling = sub.add_parser("scaling", help="Theorem 9 scaling sweep")
+    scaling.add_argument("--sizes", type=int, nargs="+", default=[4, 7, 10, 16])
+    scaling.add_argument("--seed", type=int, default=2)
+    scaling.add_argument("--until", type=float, default=50_000.0)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "protocols":
+        return cmd_protocols(args)
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "table1":
+        return cmd_table1(args)
+    if args.command == "scaling":
+        return cmd_scaling(args)
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

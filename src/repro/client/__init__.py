@@ -1,0 +1,5 @@
+"""BFT SMR client layer: request submission and f+1 confirmation."""
+
+from repro.client.client import Client, ClientReply, ClientRequest, Confirmation
+
+__all__ = ["Client", "ClientReply", "ClientRequest", "Confirmation"]

@@ -1,0 +1,15 @@
+"""The paper's core protocol: DiemBFT steady state + asynchronous fallback."""
+
+from repro.core.config import ProtocolConfig, ProtocolVariant
+from repro.core.context import CryptoContext, SharedSetup
+from repro.core.leader import LeaderSchedule
+from repro.core.replica import Replica
+
+__all__ = [
+    "CryptoContext",
+    "LeaderSchedule",
+    "ProtocolConfig",
+    "ProtocolVariant",
+    "Replica",
+    "SharedSetup",
+]

@@ -1,0 +1,76 @@
+"""Commit rules: 3-chain (Figure 2) and 2-chain (Figure 4).
+
+A block commits when it heads a chain of ``depth`` adjacent blocks with
+consecutive round numbers and the same view number, where each block is
+either a certified regular block or an *endorsed* fallback block.  The chain
+is discovered by walking the certificates embedded in blocks, starting from
+a newly observed certificate.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.core.validation import AnyCert, effective_rank
+from repro.ledger.blockstore import BlockStore
+from repro.types.blocks import AnyBlock
+from repro.types.certificates import CoinQC, EndorsedFallbackQC, FallbackQC, QC
+
+
+def cert_counts_for_commit(cert: AnyCert, coin_qcs: Mapping[int, CoinQC]) -> bool:
+    """Regular QCs count; f-QCs count only when endorsed by their view's coin."""
+    if isinstance(cert, QC) or isinstance(cert, EndorsedFallbackQC):
+        return True
+    if isinstance(cert, FallbackQC):
+        coin_qc = coin_qcs.get(cert.view)
+        return coin_qc is not None and coin_qc.leader == cert.proposer
+    return False
+
+
+def find_commit_target(
+    store: BlockStore,
+    cert: AnyCert,
+    coin_qcs: Mapping[int, CoinQC],
+    depth: int,
+) -> Optional[AnyBlock]:
+    """The block (if any) committed by observing ``cert``.
+
+    Walks ``depth`` certificate hops down from ``cert`` and checks the
+    commit conditions.  Returns the deepest block of the chain (the one to
+    commit, together with all its ancestors) or None if the rule does not
+    fire — including when intermediate blocks are missing (the caller
+    re-checks once catch-up delivers them).
+    """
+    if depth < 1:
+        raise ValueError("commit depth must be >= 1")
+    chain: list[AnyBlock] = []
+    current_cert: AnyCert = cert
+    for _ in range(depth):
+        if not cert_counts_for_commit(current_cert, coin_qcs):
+            return None
+        block = store.get(current_cert.block_id)
+        if block is None:
+            return None
+        if block.round != current_cert.round or block.view != current_cert.view:
+            return None  # malformed certificate (cannot happen with honest quorums)
+        chain.append(block)
+        if len(chain) == depth:
+            break
+        if block.qc is None:
+            return None  # hit genesis before assembling the chain
+        current_cert = block.qc
+    top_view = chain[0].view
+    for higher, lower in zip(chain, chain[1:]):
+        if higher.round != lower.round + 1:
+            return None
+        if lower.view != top_view:
+            return None
+    return chain[-1]
+
+
+def parent_rank_of(block: AnyBlock, coin_qcs: Mapping[int, CoinQC]):
+    """Effective rank of the certificate embedded in ``block`` (None for
+    genesis).  Used by the 2-chain lock update."""
+    if block.qc is None:
+        return None
+    return effective_rank(block.qc, coin_qcs)

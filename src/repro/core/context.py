@@ -1,0 +1,96 @@
+"""Shared cryptographic setup and the per-replica crypto context.
+
+:class:`SharedSetup` is what the paper's trusted dealer produces once per
+cluster: the PKI registry, the threshold schemes for votes and timeouts
+(threshold 2f+1) and the common coin (threshold f+1).  Each replica then
+receives a :class:`CryptoContext` bundling its private key with the shared
+verification machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ProtocolConfig
+from repro.crypto.coin import CoinShare, CommonCoin
+from repro.crypto.keys import KeyPair, Registry
+from repro.crypto.threshold import (
+    ThresholdScheme,
+    ThresholdSignature,
+    ThresholdSignatureShare,
+)
+from repro.types.certificates import CoinQC
+
+
+@dataclass
+class SharedSetup:
+    """Dealer output shared by the whole cluster."""
+
+    config: ProtocolConfig
+    registry: Registry
+    quorum_scheme: ThresholdScheme
+    coin: CommonCoin
+
+    @classmethod
+    def deal(cls, config: ProtocolConfig, coin_seed: int = 0) -> "SharedSetup":
+        registry = Registry(config.n)
+        return cls(
+            config=config,
+            registry=registry,
+            quorum_scheme=ThresholdScheme(registry, threshold=config.quorum_size),
+            coin=CommonCoin(registry, threshold=config.coin_threshold, seed=coin_seed),
+        )
+
+    def context_for(self, replica: int) -> "CryptoContext":
+        return CryptoContext(setup=self, key_pair=self.registry.key_pair(replica))
+
+
+@dataclass
+class CryptoContext:
+    """One replica's view of the crypto setup (its key + shared schemes)."""
+
+    setup: SharedSetup
+    key_pair: KeyPair
+
+    @property
+    def replica(self) -> int:
+        return self.key_pair.owner
+
+    @property
+    def scheme(self) -> ThresholdScheme:
+        return self.setup.quorum_scheme
+
+    @property
+    def coin(self) -> CommonCoin:
+        return self.setup.coin
+
+    # ------------------------------------------------------------------
+    # Share helpers
+    # ------------------------------------------------------------------
+    def share(self, payload: object) -> ThresholdSignatureShare:
+        return self.scheme.sign_share(self.key_pair, payload)
+
+    def verify_share(self, share: ThresholdSignatureShare, payload: object) -> bool:
+        return self.scheme.verify_share(share, payload)
+
+    def combine(self, shares, payload: object) -> ThresholdSignature:
+        return self.scheme.combine(shares, payload)
+
+    def verify_combined(self, signature: ThresholdSignature, payload: object) -> bool:
+        return self.scheme.verify(signature, payload)
+
+    # ------------------------------------------------------------------
+    # Coin helpers
+    # ------------------------------------------------------------------
+    def coin_share(self, view: int) -> CoinShare:
+        return self.coin.share(self.key_pair, view)
+
+    def verify_coin_share(self, share: CoinShare) -> bool:
+        return self.coin.verify_share(share)
+
+    def reveal_coin(self, shares, view: int) -> CoinQC:
+        leader = self.coin.reveal(shares, view)
+        return CoinQC(view=view, leader=leader, proof_tag=self.coin.leader_proof_tag(view))
+
+    def verify_coin_qc(self, coin_qc: CoinQC) -> bool:
+        return self.coin.verify_leader(coin_qc.view, coin_qc.leader, coin_qc.proof_tag)

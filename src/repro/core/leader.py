@@ -1,0 +1,47 @@
+"""Steady-state leader schedule.
+
+The paper's "Rules for Leader Rotation": the predefined leader sequence
+rotates once every 4 rounds (``L_{4k+1} .. L_{4k+4}`` are the same replica),
+so an honest leader has enough consecutive rounds to complete a 3-chain and
+commit.  Rotation interval and cluster size are configurable.
+"""
+
+from __future__ import annotations
+
+
+class LeaderSchedule:
+    """Round-robin leader assignment over rounds 1, 2, 3, ...
+
+    ``leader(r) = ((r - 1) // interval) mod n`` — rounds are 1-indexed, so
+    rounds 1..interval belong to replica 0, the next ``interval`` rounds to
+    replica 1, and so on.
+    """
+
+    def __init__(self, n: int, rotation_interval: int = 4) -> None:
+        if n < 1:
+            raise ValueError("need at least one replica")
+        if rotation_interval < 1:
+            raise ValueError("rotation interval must be >= 1")
+        self.n = n
+        self.rotation_interval = rotation_interval
+
+    def leader(self, round_number: int) -> int:
+        """The designated leader ``L_r`` of a round (rounds start at 1)."""
+        if round_number < 1:
+            raise ValueError(f"rounds are 1-indexed, got {round_number}")
+        return ((round_number - 1) // self.rotation_interval) % self.n
+
+    def is_leader(self, replica: int, round_number: int) -> bool:
+        return self.leader(round_number) == replica
+
+    def rounds_led_by(self, replica: int, start: int, end: int) -> list[int]:
+        """Rounds in [start, end] led by ``replica`` (inclusive bounds)."""
+        return [r for r in range(start, end + 1) if self.leader(r) == replica]
+
+    def next_rotation(self, round_number: int) -> int:
+        """First round after ``round_number`` with a different leader."""
+        current = self.leader(round_number)
+        candidate = round_number + 1
+        while self.leader(candidate) == current:
+            candidate += 1
+        return candidate

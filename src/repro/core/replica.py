@@ -1,0 +1,572 @@
+"""The replica state machine.
+
+One :class:`Replica` runs the steady-state protocol (Propose / Vote / Lock /
+Advance Round / Commit) and delegates view-change duties to an engine chosen
+by the configured variant:
+
+- :class:`~repro.core.fallback.FallbackEngine` — the paper's asynchronous
+  view-change (Figures 2-4),
+- :class:`~repro.core.pacemaker.PacemakerEngine` — the original DiemBFT
+  quadratic pacemaker (Figure 1), used by the partially synchronous baseline.
+
+The ALWAYS_FALLBACK variant (VABA/ACE-style quadratic baseline) reuses the
+fallback engine but never runs the fast path: every view starts with an
+immediate timeout.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.commit import find_commit_target, parent_rank_of
+from repro.core.config import ProtocolConfig, ProtocolVariant
+from repro.core.context import CryptoContext
+from repro.core.leader import LeaderSchedule
+from repro.core.safety import SafetyRules
+from repro.core.validation import (
+    AnyCert,
+    effective_rank,
+    endorse_if_elected,
+    verify_parent_cert,
+)
+from repro.ledger.blockstore import BlockStore
+from repro.ledger.ledger import Ledger, NullStateMachine, StateMachine
+from repro.mempool.mempool import Mempool
+from repro.net.network import Network
+from repro.sim.process import Process
+from repro.sim.scheduler import Scheduler
+from repro.types.blocks import Block
+from repro.types.certificates import (
+    EndorsedFallbackQC,
+    FallbackQC,
+    ParentCert,
+    QC,
+    genesis_qc,
+    max_cert,
+)
+from repro.client.client import ClientReply, ClientRequest
+from repro.types.messages import (
+    BlockRequest,
+    BlockResponse,
+    ChainRequest,
+    ChainResponse,
+    CoinQCMessage,
+    CoinShareMessage,
+    FallbackProposal,
+    FallbackQCMessage,
+    FallbackTCMessage,
+    FallbackTimeout,
+    FallbackVote,
+    PacemakerTCMessage,
+    PacemakerTimeout,
+    Proposal,
+    Vote,
+)
+
+ROUND_TIMER = "round"
+SYNC_TIMER_PREFIX = "sync:"
+
+
+class ReplicaObserver:
+    """No-op observer; the metrics layer implements these hooks."""
+
+    def on_commit(self, replica: int, record, now: float) -> None:
+        pass
+
+    def on_round_entered(self, replica: int, round_number: int, now: float) -> None:
+        pass
+
+    def on_timeout(self, replica: int, view: int, round_number: int, now: float) -> None:
+        pass
+
+    def on_fallback_entered(self, replica: int, view: int, now: float) -> None:
+        pass
+
+    def on_fallback_exited(self, replica: int, view: int, leader: int, now: float) -> None:
+        pass
+
+    def on_proposal(self, replica: int, block, now: float) -> None:
+        pass
+
+
+class Replica(Process):
+    """An honest replica."""
+
+    def __init__(
+        self,
+        replica_id: int,
+        config: ProtocolConfig,
+        crypto: CryptoContext,
+        network: Network,
+        scheduler: Scheduler,
+        mempool: Optional[Mempool] = None,
+        state_machine: Optional[StateMachine] = None,
+        observer: Optional[ReplicaObserver] = None,
+    ) -> None:
+        super().__init__(replica_id, scheduler)
+        if crypto.replica != replica_id:
+            raise ValueError("crypto context belongs to a different replica")
+        self.config = config
+        self.crypto = crypto
+        self.network = network
+        self.observer = observer or ReplicaObserver()
+        self.schedule = LeaderSchedule(config.n, config.leader_rotation_interval)
+        self.mempool = mempool if mempool is not None else Mempool(config.batch_size)
+        self.store = BlockStore()
+        self.ledger = Ledger(self.store, state_machine or NullStateMachine())
+        self.safety = SafetyRules(config)
+
+        # Core protocol state (Figure 1 initialization).
+        self.r_cur = 1
+        self.v_cur = 0
+        self.qc_high: ParentCert = genesis_qc(self.store.genesis.id)
+        self.fallback_mode = False
+        self.fallbacks_entered = 0
+
+        # Vote aggregation (as the next round's leader).
+        self._vote_shares: dict[tuple, dict[int, object]] = {}
+        self._formed_qcs: set[tuple] = set()
+
+        # Proposals made, keyed (view, round): the leader proposes once.
+        self._proposed: set[tuple[int, int]] = set()
+
+        # Certificates whose blocks we have not received yet.
+        self._pending_certs: list[AnyCert] = []
+        self._requested_blocks: set[str] = set()
+
+        # Client transactions awaiting a commit reply: tx_id -> client id.
+        self._tx_origin: dict[str, int] = {}
+
+        # In-flight block sync: block_id -> (cert, attempts so far).
+        self._sync_attempts: dict[str, tuple[AnyCert, int]] = {}
+
+        # View-change engine (imported here to avoid module cycles).
+        from repro.core.fallback import FallbackEngine
+        from repro.core.pacemaker import PacemakerEngine
+
+        self.fallback: Optional[FallbackEngine] = None
+        self.pacemaker: Optional[PacemakerEngine] = None
+        if config.uses_fallback:
+            self.fallback = FallbackEngine(self)
+        else:
+            self.pacemaker = PacemakerEngine(self)
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def quorum(self) -> int:
+        return self.config.quorum_size
+
+    @property
+    def coin_qcs(self):
+        """View -> CoinQC map (empty for the baseline pacemaker)."""
+        if self.fallback is not None:
+            return self.fallback.coin_qcs
+        return {}
+
+    def current_leader(self) -> int:
+        return self.schedule.leader(self.r_cur)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        if self.config.variant == ProtocolVariant.ALWAYS_FALLBACK:
+            assert self.fallback is not None
+            self.fallback.force_timeout()
+            return
+        self._arm_round_timer()
+        self.maybe_propose()
+
+    def on_timer(self, name: str) -> None:
+        if name.startswith(SYNC_TIMER_PREFIX):
+            self._retry_block_request(name[len(SYNC_TIMER_PREFIX):])
+            return
+        if name != ROUND_TIMER:
+            return
+        self.observer.on_timeout(self.process_id, self.v_cur, self.r_cur, self.now)
+        if self.fallback is not None:
+            self.fallback.on_local_timeout()
+        elif self.pacemaker is not None:
+            self.pacemaker.on_local_timeout()
+
+    def on_message(self, sender: int, message: object) -> None:
+        if isinstance(message, ClientRequest):
+            self.handle_client_request(sender, message)
+        elif isinstance(message, Proposal):
+            self.handle_proposal(sender, message)
+        elif isinstance(message, Vote):
+            self.handle_vote(sender, message)
+        elif isinstance(message, BlockRequest):
+            self.handle_block_request(sender, message)
+        elif isinstance(message, BlockResponse):
+            self.handle_block_response(sender, message)
+        elif isinstance(message, ChainRequest):
+            self.handle_chain_request(sender, message)
+        elif isinstance(message, ChainResponse):
+            self.handle_chain_response(sender, message)
+        elif isinstance(message, (PacemakerTimeout, PacemakerTCMessage)):
+            if self.pacemaker is not None:
+                self.pacemaker.handle(sender, message)
+        elif isinstance(
+            message,
+            (
+                FallbackTimeout,
+                FallbackTCMessage,
+                FallbackProposal,
+                FallbackVote,
+                FallbackQCMessage,
+                CoinShareMessage,
+                CoinQCMessage,
+            ),
+        ):
+            if self.fallback is not None:
+                self.fallback.handle(sender, message)
+        # Unknown message types are dropped (Byzantine noise).
+
+    # ------------------------------------------------------------------
+    # Steady state: Propose
+    # ------------------------------------------------------------------
+    def maybe_propose(self) -> None:
+        """Propose for the current round if we are its leader (once)."""
+        if self.config.variant == ProtocolVariant.ALWAYS_FALLBACK:
+            return
+        if self.fallback_mode:
+            return
+        if self.schedule.leader(self.r_cur) != self.process_id:
+            return
+        key = (self.v_cur, self.r_cur)
+        if key in self._proposed:
+            return
+        self._proposed.add(key)
+        block = Block(
+            qc=self.qc_high,
+            round=self.r_cur,
+            view=self.v_cur,
+            batch=self.next_valid_batch(),
+            author=self.process_id,
+        )
+        self.store.add(block)
+        self.observer.on_proposal(self.process_id, block, self.now)
+        self.network.multicast(self.process_id, Proposal(block))
+
+    # ------------------------------------------------------------------
+    # Steady state: Vote
+    # ------------------------------------------------------------------
+    def handle_proposal(self, sender: int, message: Proposal) -> None:
+        block = message.block
+        if block.round < 1:
+            return  # malformed: protocol rounds start at 1
+        if block.author != sender:
+            return  # forged authorship
+        if self.schedule.leader(block.round) != sender:
+            return  # not the designated leader for that round
+        if block.qc is None or not verify_parent_cert(self.crypto, block.qc):
+            return
+        self.store.add(block)
+        self._retry_pending_certs()
+        # Lock step: "upon seeing a valid qc ... contained in proposal".
+        self.process_certificate(block.qc)
+        if not self.batch_valid(block.batch):
+            return  # external validity: never vote for invalid transactions
+        parent_rank = effective_rank(block.qc, self.coin_qcs)
+        if self.safety.may_vote_regular(
+            block, self.r_cur, self.v_cur, self.fallback_mode, parent_rank
+        ):
+            self.safety.record_regular_vote(block)
+            share = self.crypto.share(("vote", block.id, block.round, block.view))
+            vote = Vote(block_id=block.id, round=block.round, view=block.view, share=share)
+            self.network.send(
+                self.process_id, self.schedule.leader(block.round + 1), vote
+            )
+
+    def handle_vote(self, sender: int, message: Vote) -> None:
+        share = message.share
+        if share.signer != sender:
+            return
+        payload = ("vote", message.block_id, message.round, message.view)
+        if not self.crypto.verify_share(share, payload):
+            return
+        key = ("vote", message.block_id, message.round, message.view)
+        if key in self._formed_qcs:
+            return
+        bucket = self._vote_shares.setdefault(key, {})
+        bucket[sender] = share
+        if len(bucket) >= self.quorum:
+            qc = QC(
+                block_id=message.block_id,
+                round=message.round,
+                view=message.view,
+                signature=self.crypto.combine(bucket.values(), payload),
+            )
+            self._formed_qcs.add(key)
+            del self._vote_shares[key]
+            self.process_certificate(qc)
+
+    # ------------------------------------------------------------------
+    # Lock / Advance Round / Commit
+    # ------------------------------------------------------------------
+    def process_certificate(self, cert: AnyCert) -> None:
+        """The Lock step: runs on every valid certificate we see.
+
+        Accepts regular QCs, endorsed f-QCs, and raw f-QCs (which only act
+        here once their view's coin endorses them).
+        """
+        normalized = endorse_if_elected(cert, self.coin_qcs)
+        if normalized is None:
+            return  # unendorsed f-QC: fallback-internal only
+        # qc_high <- max(qc_high, qc).  Updated before Advance Round so that
+        # a leader proposing "upon entering round r" extends this very QC.
+        self.qc_high = max_cert(self.qc_high, normalized)
+        # rank_lock update (needs the certified block's own parent for the
+        # 2-chain lock; re-run later if the block is missing).
+        block = self.store.get(normalized.block_id)
+        if block is None:
+            self._note_missing_block(normalized)
+            self.safety.update_lock(effective_rank(normalized, self.coin_qcs), None)
+        else:
+            self.safety.update_lock(
+                effective_rank(normalized, self.coin_qcs),
+                parent_rank_of(block, self.coin_qcs),
+            )
+        # Advance Round (may trigger our proposal for the new round).
+        self.advance_round(normalized.round + 1)
+        # Commit.
+        self.try_commit(normalized)
+        # A new round may make us the leader.
+        self.maybe_propose()
+
+    def advance_round(self, new_round: int) -> None:
+        """``r_cur <- max(r_cur, qc.r + 1)`` plus round-entry duties."""
+        if new_round <= self.r_cur:
+            return
+        self.r_cur = new_round
+        self.safety.stop_voting_below(new_round)
+        self.observer.on_round_entered(self.process_id, new_round, self.now)
+        self._prune_vote_state()
+        if not self.fallback_mode:
+            self._arm_round_timer()
+        if self.pacemaker is not None:
+            self.pacemaker.on_round_entered(new_round)
+        self.maybe_propose()
+
+    def try_commit(self, cert: AnyCert) -> None:
+        target = find_commit_target(
+            self.store, cert, self.coin_qcs, self.config.commit_depth
+        )
+        if target is None or self.ledger.is_committed(target.id):
+            return
+        records = self.ledger.commit_through(target, self.now)
+        for record in records:
+            self.mempool.mark_committed(record.block.batch)
+            self.observer.on_commit(self.process_id, record, self.now)
+            self._reply_to_clients(record)
+
+    # ------------------------------------------------------------------
+    # Clients
+    # ------------------------------------------------------------------
+    def handle_client_request(self, sender: int, message: ClientRequest) -> None:
+        transaction = message.transaction
+        if self.ledger.is_committed_transaction(transaction.tx_id):
+            # Retransmission of something already committed: answer directly.
+            position, block_id = self.ledger.commit_location(transaction.tx_id)
+            self.network.send(
+                self.process_id,
+                sender,
+                ClientReply(
+                    tx_id=transaction.tx_id,
+                    position=position,
+                    block_id=block_id,
+                    replica=self.process_id,
+                ),
+            )
+            return
+        self._tx_origin[transaction.tx_id] = sender
+        self.mempool.submit(transaction)
+
+    def _reply_to_clients(self, record) -> None:
+        for transaction in record.block.batch:
+            origin = self._tx_origin.pop(transaction.tx_id, None)
+            if origin is not None:
+                self.network.send(
+                    self.process_id,
+                    origin,
+                    ClientReply(
+                        tx_id=transaction.tx_id,
+                        position=record.position,
+                        block_id=record.block.id,
+                        replica=self.process_id,
+                    ),
+                )
+
+    # ------------------------------------------------------------------
+    # Round timer
+    # ------------------------------------------------------------------
+    def _arm_round_timer(self) -> None:
+        self.set_timer(
+            ROUND_TIMER, self.config.timeout_for_view(self.fallbacks_entered)
+        )
+
+    def after_view_change(self) -> None:
+        """Duties after exiting a fallback: timers and possibly proposing."""
+        if self.config.variant == ProtocolVariant.ALWAYS_FALLBACK:
+            assert self.fallback is not None
+            self.fallback.force_timeout()
+            return
+        self._arm_round_timer()
+        self.maybe_propose()
+
+    # ------------------------------------------------------------------
+    # Block synchronization (catch-up)
+    # ------------------------------------------------------------------
+    def _note_missing_block(self, cert: AnyCert) -> None:
+        self._pending_certs.append(cert)
+        if not self.config.sync_missing_blocks:
+            return
+        block_id = cert.block_id
+        if block_id in self._requested_blocks:
+            return
+        self._requested_blocks.add(block_id)
+        self._sync_attempts[block_id] = (cert, 0)
+        self._send_block_request(cert, attempt=0)
+
+    def _send_block_request(self, cert: AnyCert, attempt: int) -> None:
+        """Ask a peer for a missing block, rotating peers across retries.
+
+        The first attempt targets the block's likely author; later attempts
+        (and the case where we *are* the author — e.g. our own pre-crash
+        blocks) walk the other replicas round-robin.
+        """
+        block_id = cert.block_id
+        target = (self._likely_holder(cert) + attempt) % self.config.n
+        if target == self.process_id:
+            target = (target + 1) % self.config.n
+        # Range sync: one round trip brings the block plus a chunk of its
+        # ancestry, so deep catch-up is O(chain / max_blocks) round trips.
+        self.network.send(self.process_id, target, ChainRequest(block_id))
+        self.set_timer(SYNC_TIMER_PREFIX + block_id, self.config.round_timeout)
+
+    def _retry_block_request(self, block_id: str) -> None:
+        entry = self._sync_attempts.get(block_id)
+        if entry is None or block_id in self.store:
+            self._sync_attempts.pop(block_id, None)
+            return
+        cert, attempt = entry
+        self._sync_attempts[block_id] = (cert, attempt + 1)
+        self._send_block_request(cert, attempt + 1)
+
+    def _likely_holder(self, cert: AnyCert) -> int:
+        """Who to ask for a missing certified block: its author."""
+        if isinstance(cert, EndorsedFallbackQC):
+            return cert.fqc.proposer
+        if isinstance(cert, FallbackQC):
+            return cert.proposer
+        return self.schedule.leader(max(cert.round, 1))
+
+    def handle_block_request(self, sender: int, message: BlockRequest) -> None:
+        block = self.store.get(message.block_id)
+        if block is not None:
+            self.network.send(self.process_id, sender, BlockResponse(block))
+
+    def handle_block_response(self, sender: int, message: BlockResponse) -> None:
+        self._accept_synced_blocks([message.block])
+
+    def handle_chain_request(self, sender: int, message: ChainRequest) -> None:
+        head = self.store.get(message.block_id)
+        if head is None:
+            return
+        limit = max(1, min(message.max_blocks, 128))
+        blocks = [head]
+        for ancestor in self.store.ancestors(head):
+            if len(blocks) >= limit:
+                break
+            blocks.append(ancestor)
+        self.network.send(self.process_id, sender, ChainResponse(blocks=tuple(blocks)))
+
+    def handle_chain_response(self, sender: int, message: ChainResponse) -> None:
+        self._accept_synced_blocks(message.blocks)
+
+    def _accept_synced_blocks(self, blocks) -> None:
+        accepted = False
+        for block in blocks:
+            if isinstance(block, Block):
+                if block.qc is not None and not verify_parent_cert(self.crypto, block.qc):
+                    continue
+            self.store.add(block)
+            accepted = True
+            self._sync_attempts.pop(block.id, None)
+            self.cancel_timer(SYNC_TIMER_PREFIX + block.id)
+        if accepted:
+            self._retry_pending_certs()
+
+    def _retry_pending_certs(self) -> None:
+        if not self._pending_certs:
+            return
+        pending, self._pending_certs = self._pending_certs, []
+        progressed = False
+        for cert in pending:
+            if cert.block_id in self.store:
+                progressed = True
+                block = self.store.require(cert.block_id)
+                self.safety.update_lock(
+                    effective_rank(cert, self.coin_qcs),
+                    parent_rank_of(block, self.coin_qcs),
+                )
+                self.try_commit(cert)
+                # The chain below may still be incomplete (deep catch-up):
+                # chase the deepest missing link, not just the parent.
+                gap_cert = self._deepest_missing_link(block)
+                if gap_cert is not None:
+                    self._note_missing_block(gap_cert)
+            else:
+                self._pending_certs.append(cert)
+        if progressed:
+            # Catch-up may have just completed the chain below blocks whose
+            # commit check failed earlier; re-run it from the highest cert.
+            self.try_commit(self.qc_high)
+
+    def _deepest_missing_link(self, block) -> Optional[AnyCert]:
+        """Walk ancestors from ``block``; return the certificate of the
+        first missing ancestor, or None if the chain reaches genesis or the
+        committed prefix."""
+        current = block
+        while True:
+            if current.qc is None:
+                return None  # genesis reached: chain complete
+            parent = self.store.get(current.qc.block_id)
+            if parent is None:
+                return current.qc
+            if self.ledger.is_committed(parent.id):
+                return None  # connected to the committed prefix
+            current = parent
+
+    # ------------------------------------------------------------------
+    # External validity (validated BFT SMR)
+    # ------------------------------------------------------------------
+    def batch_valid(self, batch) -> bool:
+        """All transactions in the batch satisfy the validity predicate."""
+        predicate = self.config.validity_predicate
+        if predicate is None:
+            return True
+        return all(predicate(tx) for tx in batch)
+
+    def next_valid_batch(self):
+        """Next mempool batch with externally invalid transactions dropped
+        (both from the batch and, permanently, from the pool)."""
+        predicate = self.config.validity_predicate
+        if predicate is None:
+            return self.mempool.next_batch()
+        while True:
+            batch = self.mempool.next_batch()
+            invalid = [tx for tx in batch if not predicate(tx)]
+            if not invalid:
+                return batch
+            self.mempool.mark_committed(invalid)  # drop, never propose
+
+    def _prune_vote_state(self) -> None:
+        """Drop vote accumulators for long-past rounds (memory hygiene)."""
+        horizon = self.r_cur - 2
+        stale = [key for key in self._vote_shares if key[2] < horizon]
+        for key in stale:
+            del self._vote_shares[key]

@@ -1,0 +1,163 @@
+"""Safety rules: the voting and locking state of one replica.
+
+This module isolates the state whose monotonicity the safety proofs rely
+on — the highest voted round ``r_vote``, the highest locked rank
+``rank_lock``, and the per-proposer fallback vote trackers ``r̄_vote[j]`` /
+``h̄_vote[j]`` — behind an API that makes the rules explicit and unit-
+testable without a network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.config import ProtocolConfig
+from repro.types.blocks import Block, FallbackBlock
+from repro.types.certificates import Rank
+
+
+@dataclass
+class FallbackVoteState:
+    """Per-view fallback vote trackers (reset on Enter Fallback)."""
+
+    view: int
+    r_vote: dict[int, int] = field(default_factory=dict)
+    h_vote: dict[int, int] = field(default_factory=dict)
+
+    def voted_round(self, proposer: int) -> int:
+        return self.r_vote.get(proposer, 0)
+
+    def voted_height(self, proposer: int) -> int:
+        return self.h_vote.get(proposer, 0)
+
+    def record(self, proposer: int, round_number: int, height: int) -> None:
+        self.r_vote[proposer] = round_number
+        self.h_vote[proposer] = height
+
+
+class SafetyRules:
+    """Vote/lock state machine for one replica."""
+
+    def __init__(self, config: ProtocolConfig) -> None:
+        self.config = config
+        self.r_vote = 0
+        self.rank_lock = Rank.zero()
+        self._fallback_votes: Optional[FallbackVoteState] = None
+
+    # ------------------------------------------------------------------
+    # Steady-state voting (the Vote step)
+    # ------------------------------------------------------------------
+    def may_vote_regular(
+        self,
+        block: Block,
+        r_cur: int,
+        v_cur: int,
+        fallback_mode: bool,
+        parent_rank: Rank,
+    ) -> bool:
+        """The paper's Vote rule, including the Figure 2 additions.
+
+        ``parent_rank`` is the effective rank of the block's embedded qc
+        (endorsement resolved by the caller).
+        """
+        if block.qc is None:
+            return False
+        if block.round != r_cur or block.view != v_cur:
+            return False
+        if block.round <= self.r_vote:
+            return False
+        if parent_rank < self.rank_lock:
+            return False
+        if self.config.uses_fallback:
+            if fallback_mode:
+                return False
+            if block.round != block.qc.round + 1:
+                return False
+        return True
+
+    def record_regular_vote(self, block: Block) -> None:
+        self.r_vote = block.round
+
+    def stop_voting_below(self, round_number: int) -> None:
+        """"Stops voting for round < r" on round entry / timeout."""
+        self.r_vote = max(self.r_vote, round_number - 1)
+
+    def stop_voting_for(self, round_number: int) -> None:
+        """"Stops voting for round r" when its timer expires."""
+        self.r_vote = max(self.r_vote, round_number)
+
+    # ------------------------------------------------------------------
+    # Locking (the Lock step)
+    # ------------------------------------------------------------------
+    def update_lock(self, qc_rank: Rank, parent_rank: Optional[Rank]) -> None:
+        """2-chain lock (lock the parent's rank) or Section 4's 1-chain lock.
+
+        ``qc_rank`` is the effective rank of the certificate just seen,
+        ``parent_rank`` the effective rank of the certificate embedded in
+        the block it certifies (None if we don't hold the block yet — the
+        caller re-runs the lock update when the block arrives).
+        """
+        if self.config.one_chain_lock:
+            self.rank_lock = max(self.rank_lock, qc_rank)
+        elif parent_rank is not None:
+            self.rank_lock = max(self.rank_lock, parent_rank)
+
+    # ------------------------------------------------------------------
+    # Fallback voting (the Fallback Vote step)
+    # ------------------------------------------------------------------
+    def reset_fallback_votes(self, view: int) -> None:
+        """Enter Fallback: fresh r̄_vote / h̄_vote maps for this view."""
+        self._fallback_votes = FallbackVoteState(view=view)
+
+    @property
+    def fallback_votes(self) -> Optional[FallbackVoteState]:
+        return self._fallback_votes
+
+    def may_vote_fallback(
+        self,
+        fblock: FallbackBlock,
+        v_cur: int,
+        fallback_mode: bool,
+        parent_rank: Rank,
+        parent_height: Optional[int],
+    ) -> bool:
+        """The Fallback Vote rule for any height.
+
+        ``parent_rank`` is the effective rank of the embedded certificate;
+        ``parent_height`` the embedded f-QC's height for heights >= 2 (None
+        for height 1, whose parent is a regular/endorsed certificate).
+        """
+        if not fallback_mode or self._fallback_votes is None:
+            return False
+        if self._fallback_votes.view != v_cur or fblock.view != v_cur:
+            return False
+        votes = self._fallback_votes
+        if fblock.height <= votes.voted_height(fblock.proposer):
+            return False
+        if fblock.height == 1:
+            if parent_height is not None:
+                return False  # height-1 must extend a regular/endorsed cert
+            if parent_rank < self.rank_lock:
+                return False
+            if fblock.round != parent_rank.round + 1:
+                return False
+        else:
+            if parent_height is None or fblock.height != parent_height + 1:
+                return False
+            if fblock.round != parent_rank.round + 1:
+                return False
+            if fblock.round <= votes.voted_round(fblock.proposer):
+                return False
+        return True
+
+    def record_fallback_vote(self, fblock: FallbackBlock) -> None:
+        if self._fallback_votes is None:
+            raise RuntimeError("fallback vote recorded outside a fallback")
+        self._fallback_votes.record(fblock.proposer, fblock.round, fblock.height)
+
+    def adopt_leader_votes(self, leader: int) -> None:
+        """Exit Fallback: ``r_vote ← r̄_vote[L]`` (consistency with the
+        endorsed chain we may have voted for)."""
+        if self._fallback_votes is not None:
+            self.r_vote = self._fallback_votes.voted_round(leader)

@@ -1,0 +1,94 @@
+"""Certificate validation and rank helpers shared by all protocol variants."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Union
+
+from repro.core.context import CryptoContext
+from repro.types.certificates import (
+    CoinQC,
+    EndorsedFallbackQC,
+    FallbackQC,
+    FallbackTC,
+    ParentCert,
+    QC,
+    Rank,
+    TimeoutCertificate,
+    is_genesis_qc,
+)
+
+AnyCert = Union[QC, FallbackQC, EndorsedFallbackQC]
+
+
+def verify_qc(crypto: CryptoContext, qc: QC) -> bool:
+    """A regular QC is valid if genesis or carries a 2f+1 threshold sig."""
+    if is_genesis_qc(qc):
+        return True
+    return crypto.verify_combined(qc.signature, qc.payload())
+
+
+def verify_fallback_qc(crypto: CryptoContext, fqc: FallbackQC) -> bool:
+    return crypto.verify_combined(fqc.signature, fqc.payload())
+
+
+def verify_endorsed(crypto: CryptoContext, cert: EndorsedFallbackQC) -> bool:
+    return verify_fallback_qc(crypto, cert.fqc) and crypto.verify_coin_qc(cert.coin_qc)
+
+
+def verify_parent_cert(crypto: CryptoContext, cert: ParentCert) -> bool:
+    """Validate anything a block may embed / qc_high may hold."""
+    if isinstance(cert, EndorsedFallbackQC):
+        return verify_endorsed(crypto, cert)
+    if isinstance(cert, QC):
+        return verify_qc(crypto, cert)
+    return False
+
+
+def verify_embedded_cert(crypto: CryptoContext, cert: AnyCert) -> bool:
+    """Validate a certificate embedded in any block (f-blocks embed raw
+    f-QCs for heights 2+)."""
+    if isinstance(cert, FallbackQC):
+        return verify_fallback_qc(crypto, cert)
+    return verify_parent_cert(crypto, cert)
+
+
+def verify_fallback_tc(crypto: CryptoContext, ftc: FallbackTC) -> bool:
+    return crypto.verify_combined(ftc.signature, ftc.payload())
+
+
+def verify_timeout_cert(crypto: CryptoContext, tc: TimeoutCertificate) -> bool:
+    return crypto.verify_combined(tc.signature, tc.payload())
+
+
+def effective_rank(cert: AnyCert, coin_qcs: Mapping[int, CoinQC]) -> Rank:
+    """Rank of a certificate given the coin-QCs known so far.
+
+    A raw f-QC counts as endorsed — and takes the elevated rank — iff its
+    view's coin elected its proposer.  Regular QCs and explicit endorsed
+    wrappers rank as themselves.
+    """
+    if isinstance(cert, EndorsedFallbackQC):
+        return cert.rank
+    if isinstance(cert, FallbackQC):
+        coin_qc = coin_qcs.get(cert.view)
+        if coin_qc is not None and coin_qc.leader == cert.proposer:
+            return Rank(view=cert.view, endorsed=True, round=cert.round)
+        return cert.rank
+    return cert.rank
+
+
+def endorse_if_elected(
+    cert: AnyCert, coin_qcs: Mapping[int, CoinQC]
+) -> Optional[ParentCert]:
+    """Normalize a certificate to something qc_high may hold.
+
+    Returns the certificate itself (QC / endorsed wrapper), wraps a raw
+    f-QC whose proposer was elected, or None for an unendorsed f-QC (which
+    must never be handled as a QC).
+    """
+    if isinstance(cert, (QC, EndorsedFallbackQC)):
+        return cert
+    coin_qc = coin_qcs.get(cert.view)
+    if coin_qc is not None and coin_qc.leader == cert.proposer:
+        return EndorsedFallbackQC(fqc=cert, coin_qc=coin_qc)
+    return None

@@ -1,0 +1,76 @@
+"""Key pairs and the PKI registry.
+
+The registry plays the role of the paper's public-key infrastructure: every
+replica's public key is known to everyone, and signature verification checks
+membership.  Private keys are capability objects — holding the
+:class:`KeyPair` is what authorizes signing, so a Byzantine process cannot
+sign for an honest replica without its key object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A (simulated) signing key bound to a replica id."""
+
+    owner: int
+    #: Distinguishes regenerated keys for the same owner (e.g. across tests).
+    epoch: int = 0
+
+    @property
+    def public(self) -> "PublicKey":
+        return PublicKey(owner=self.owner, epoch=self.epoch)
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    owner: int
+    epoch: int = 0
+
+
+class Registry:
+    """PKI stand-in: issues key pairs and answers verification queries."""
+
+    def __init__(self, n: int, epoch: int = 0) -> None:
+        if n <= 0:
+            raise ValueError("registry needs at least one replica")
+        self.n = n
+        self.epoch = epoch
+        self._keys: dict[int, KeyPair] = {
+            replica: KeyPair(owner=replica, epoch=epoch) for replica in range(n)
+        }
+
+    def key_pair(self, replica: int) -> KeyPair:
+        """Hand the private key to its owner (done once, by the 'dealer')."""
+        try:
+            return self._keys[replica]
+        except KeyError:
+            raise KeyError(f"replica {replica} is not registered") from None
+
+    def public_key(self, replica: int) -> PublicKey:
+        return self.key_pair(replica).public
+
+    def is_registered(self, replica: int) -> bool:
+        return replica in self._keys
+
+    def __contains__(self, replica: int) -> bool:
+        return self.is_registered(replica)
+
+
+@dataclass
+class DealerOutput:
+    """Everything the trusted dealer hands out at setup time."""
+
+    registry: Registry
+    key_pairs: dict[int, KeyPair] = field(default_factory=dict)
+
+    @classmethod
+    def deal(cls, n: int, epoch: int = 0) -> "DealerOutput":
+        registry = Registry(n, epoch=epoch)
+        return cls(
+            registry=registry,
+            key_pairs={replica: registry.key_pair(replica) for replica in range(n)},
+        )

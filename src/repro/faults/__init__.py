@@ -1,0 +1,32 @@
+"""Byzantine fault injection."""
+
+from repro.faults.advanced import (
+    EquivocatingFallbackProposer,
+    Flooder,
+    LazyVoter,
+)
+from repro.faults.twins import TwinPair, twin_pair_factory
+from repro.faults.behaviors import (
+    CrashReplica,
+    EquivocatingLeader,
+    NonVoter,
+    SilentReplica,
+    StaleQCLeader,
+    WithholdingLeader,
+    byzantine,
+)
+
+__all__ = [
+    "CrashReplica",
+    "EquivocatingFallbackProposer",
+    "EquivocatingLeader",
+    "Flooder",
+    "LazyVoter",
+    "NonVoter",
+    "SilentReplica",
+    "StaleQCLeader",
+    "TwinPair",
+    "WithholdingLeader",
+    "byzantine",
+    "twin_pair_factory",
+]

@@ -1,0 +1,148 @@
+"""Byzantine replica behaviours.
+
+Each behaviour subclasses the honest :class:`~repro.core.replica.Replica`
+and perturbs exactly one aspect, so tests can attribute failures precisely.
+None of them forge cryptography (the ideal-model crypto forbids it); they
+misbehave in the ways the protocol must tolerate: silence, crashes,
+equivocation, withholding, and proposing stale state.
+
+Use :func:`byzantine` to adapt a behaviour class (plus kwargs) into the
+factory signature :class:`~repro.runtime.cluster.ClusterBuilder` expects::
+
+    builder.with_byzantine(2, byzantine(EquivocatingLeader))
+    builder.with_byzantine(1, byzantine(CrashReplica, crash_at=30.0))
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.replica import Replica
+from repro.sim.process import Process
+from repro.types.blocks import Block
+from repro.types.messages import Proposal
+from repro.types.transactions import Batch, make_transaction
+
+
+def byzantine(behavior: type, **kwargs) -> Callable[..., Process]:
+    """Adapt a behaviour class into a ClusterBuilder replica factory."""
+
+    def factory(*args, **factory_kwargs):
+        return behavior(*args, **factory_kwargs, **kwargs)
+
+    return factory
+
+
+class SilentReplica(Replica):
+    """Never sends anything: indistinguishable from crashed-from-start."""
+
+    def on_start(self) -> None:
+        self.crash()
+
+    def on_message(self, sender: int, message: object) -> None:
+        return None
+
+
+class CrashReplica(Replica):
+    """Honest until ``crash_at``, then permanently silent."""
+
+    def __init__(self, *args, crash_at: float = 0.0, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.crash_at = crash_at
+
+    def on_start(self) -> None:
+        super().on_start()
+        self.scheduler.call_at(
+            max(self.crash_at, self.scheduler.now),
+            self.crash,
+            label=f"crash:{self.process_id}",
+        )
+
+
+class NonVoter(Replica):
+    """Participates in everything except voting (regular and fallback)."""
+
+    def handle_proposal(self, sender: int, message) -> None:
+        block = message.block
+        if block.author != sender or self.schedule.leader(block.round) != sender:
+            return
+        if block.qc is None:
+            return
+        self.store.add(block)
+        self.process_certificate(block.qc)  # keeps its state fresh, never votes
+
+    def on_message(self, sender: int, message: object) -> None:
+        from repro.types.messages import FallbackProposal
+
+        if isinstance(message, FallbackProposal):
+            # Track blocks, never vote.
+            self.store.add(message.fblock)
+            return
+        super().on_message(sender, message)
+
+
+class WithholdingLeader(Replica):
+    """Honest except that it never proposes (forces timeouts on its turns)."""
+
+    def maybe_propose(self) -> None:
+        return None
+
+
+class EquivocatingLeader(Replica):
+    """Proposes two conflicting blocks for its round, half the cluster each.
+
+    The block ids differ (different batches), so at most one can gather a
+    quorum; safety must hold regardless.
+    """
+
+    def maybe_propose(self) -> None:
+        if self.fallback_mode or self.schedule.leader(self.r_cur) != self.process_id:
+            return
+        key = (self.v_cur, self.r_cur)
+        if key in self._proposed:
+            return
+        self._proposed.add(key)
+        batch_a = self.mempool.next_batch()
+        batch_b = Batch.of(
+            [make_transaction(index=self.r_cur, client=666, payload="evil")]
+        )
+        block_a = Block(
+            qc=self.qc_high, round=self.r_cur, view=self.v_cur,
+            batch=batch_a, author=self.process_id,
+        )
+        block_b = Block(
+            qc=self.qc_high, round=self.r_cur, view=self.v_cur,
+            batch=batch_b, author=self.process_id,
+        )
+        self.store.add(block_a)
+        self.store.add(block_b)
+        for receiver in self.network.process_ids():
+            chosen = block_a if receiver % 2 == 0 else block_b
+            self.network.send(self.process_id, receiver, Proposal(chosen))
+
+
+class StaleQCLeader(Replica):
+    """Always proposes extending the genesis QC (a stale certificate).
+
+    Honest voters reject it (the qc.rank >= rank_lock and r == qc.r + 1
+    checks), so its rounds time out.
+    """
+
+    def maybe_propose(self) -> None:
+        if self.fallback_mode or self.schedule.leader(self.r_cur) != self.process_id:
+            return
+        key = (self.v_cur, self.r_cur)
+        if key in self._proposed:
+            return
+        self._proposed.add(key)
+        from repro.types.certificates import genesis_qc
+
+        block = Block(
+            qc=genesis_qc(self.store.genesis.id),
+            round=self.r_cur,
+            view=self.v_cur,
+            batch=self.mempool.next_batch(),
+            author=self.process_id,
+        )
+        self.store.add(block)
+        self.network.multicast(self.process_id, Proposal(block))

@@ -1,0 +1,91 @@
+"""Twins: duplicate-identity Byzantine replicas (Diem's testing method).
+
+The Twins methodology (Bano et al., "Twins: BFT Systems Made Robust")
+models Byzantine behaviour *without writing attack code*: run two honest
+replica instances that share one cryptographic identity.  Each twin
+processes messages and votes honestly — but independently — so together
+they equivocate in every way a signature-holding adversary can: double
+votes, conflicting proposals, divergent fallback chains, contradictory
+timeouts.  Safety must survive because the protocol's quorum intersection
+arguments only assume at most f *identities* misbehave.
+
+:class:`TwinPair` hosts both instances behind one network process id and
+delivers every incoming message to each twin; their outbound traffic is
+interleaved on the shared identity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.replica import Replica
+from repro.sim.process import Process
+
+
+class TwinPair(Process):
+    """Two honest replicas sharing one identity (a Byzantine 'replica').
+
+    Constructed with the standard replica factory signature, so it can be
+    injected via ``ClusterBuilder.with_byzantine``.  The pair counts toward
+    the Byzantine budget: it equivocates (with valid signatures!) whenever
+    the twins' internal states diverge.
+    """
+
+    def __init__(
+        self,
+        replica_id: int,
+        config,
+        crypto,
+        network,
+        scheduler,
+        mempool=None,
+        state_machine=None,
+        observer=None,
+    ) -> None:
+        super().__init__(replica_id, scheduler)
+        self.network = network
+        # Twins get separate mempools/ledgers/stores — only the identity
+        # (crypto context + process id) is shared.  The shared observer is
+        # not attached: twins are Byzantine, their metrics don't count.
+        self.twin_a = Replica(
+            replica_id, config, crypto, network, scheduler,
+            mempool=None, state_machine=None, observer=None,
+        )
+        self.twin_b = Replica(
+            replica_id, config, crypto, network, scheduler,
+            mempool=None, state_machine=None, observer=None,
+        )
+        # Desynchronize the twins' transaction streams so their proposals
+        # genuinely differ (observable equivocation).
+        from repro.types.transactions import make_transaction
+
+        for index in range(200):
+            self.twin_a.mempool.submit(make_transaction(index, client=900 + replica_id))
+            self.twin_b.mempool.submit(make_transaction(index, client=990 + replica_id))
+
+    @property
+    def twins(self) -> list[Replica]:
+        return [self.twin_a, self.twin_b]
+
+    def on_start(self) -> None:
+        for twin in self.twins:
+            twin.on_start()
+
+    def on_message(self, sender: int, message: object) -> None:
+        for twin in self.twins:
+            twin.on_message(sender, message)
+
+    def deliver(self, sender: int, message: object) -> None:
+        if self.crashed:
+            return
+        self.on_message(sender, message)
+
+    def crash(self) -> None:
+        super().crash()
+        for twin in self.twins:
+            twin.crash()
+
+
+def twin_pair_factory(*args, **kwargs) -> TwinPair:
+    """Factory adapter for ``ClusterBuilder.with_byzantine``."""
+    return TwinPair(*args, **kwargs)

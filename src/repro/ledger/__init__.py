@@ -1,0 +1,6 @@
+"""Block storage and the committed ledger / state machine."""
+
+from repro.ledger.blockstore import BlockStore
+from repro.ledger.ledger import KVStateMachine, Ledger, StateMachine
+
+__all__ = ["BlockStore", "KVStateMachine", "Ledger", "StateMachine"]

@@ -1,0 +1,5 @@
+"""Client-facing transaction pool."""
+
+from repro.mempool.mempool import Mempool
+
+__all__ = ["Mempool"]

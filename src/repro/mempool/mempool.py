@@ -1,0 +1,56 @@
+"""A per-replica mempool: pending client transactions awaiting proposal.
+
+In this simulation clients submit to every replica (as in most BFT SMR
+deployments, transactions are disseminated out-of-band or broadcast), so
+each replica's mempool holds the same logical stream; a replica drains a
+batch when it proposes and drops transactions it later sees committed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable
+
+from repro.types.transactions import Batch, Transaction
+
+
+class Mempool:
+    """FIFO pool with commit-based garbage collection."""
+
+    def __init__(self, batch_size: int = 10) -> None:
+        if batch_size < 0:
+            raise ValueError("batch_size must be non-negative")
+        self.batch_size = batch_size
+        self._pending: "OrderedDict[str, Transaction]" = OrderedDict()
+        self.submitted_count = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def submit(self, transaction: Transaction) -> None:
+        """Add a client transaction (idempotent on tx_id)."""
+        if transaction.tx_id not in self._pending:
+            self._pending[transaction.tx_id] = transaction
+            self.submitted_count += 1
+
+    def submit_all(self, transactions: Iterable[Transaction]) -> None:
+        for transaction in transactions:
+            self.submit(transaction)
+
+    def next_batch(self) -> Batch:
+        """Peek the next batch to propose (does not remove — transactions
+        leave the pool only when committed, so a failed proposal's payload
+        is re-proposed later)."""
+        take = list(self._pending.values())[: self.batch_size]
+        return Batch.of(take)
+
+    def mark_committed(self, transactions: Iterable[Transaction]) -> int:
+        """Drop committed transactions; returns how many were present."""
+        dropped = 0
+        for transaction in transactions:
+            if self._pending.pop(transaction.tx_id, None) is not None:
+                dropped += 1
+        return dropped
+
+    def pending(self) -> list[Transaction]:
+        return list(self._pending.values())

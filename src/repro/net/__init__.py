@@ -1,0 +1,38 @@
+"""Simulated network: reliable authenticated channels under adversarial delay.
+
+The adversary controls message *delays* (never integrity, authenticity or
+eventual delivery — channels are reliable).  Delay models implement the
+paper's three network regimes:
+
+- synchrony: every delay ≤ Δ,
+- asynchrony: finite but unbounded/adversarial delays (including the
+  leader-targeting scheduler that breaks partially synchronous protocols),
+- partial synchrony: asynchronous until GST, synchronous after.
+"""
+
+from repro.net.conditions import (
+    AsynchronousDelay,
+    DelayModel,
+    LeaderTargetingAdversary,
+    NetworkSchedule,
+    PartialSynchronyDelay,
+    PartitionDelay,
+    SynchronousDelay,
+)
+from repro.net.bandwidth import BandwidthDelay
+from repro.net.network import Network
+from repro.net.topology import CrossRegionDelay, evenly_spread_regions
+
+__all__ = [
+    "AsynchronousDelay",
+    "BandwidthDelay",
+    "DelayModel",
+    "LeaderTargetingAdversary",
+    "CrossRegionDelay",
+    "Network",
+    "NetworkSchedule",
+    "PartialSynchronyDelay",
+    "PartitionDelay",
+    "SynchronousDelay",
+    "evenly_spread_regions",
+]

@@ -1,0 +1,199 @@
+"""Network delay models (the adversary's scheduling power).
+
+Every model returns a *finite* delay for every message — channels are
+reliable, so even the asynchronous adversary must eventually deliver.  The
+models only differ in how large and how targeted the delays are.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Optional, Sequence
+
+
+class DelayModel:
+    """Base class: maps a (sender, receiver, message, time) to a delay."""
+
+    def delay(
+        self,
+        sender: int,
+        receiver: int,
+        message: object,
+        now: float,
+        rng: random.Random,
+    ) -> float:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class SynchronousDelay(DelayModel):
+    """Synchrony: delays uniform in [min_delay, delta], all ≤ Δ."""
+
+    def __init__(self, delta: float = 1.0, min_delay: float = 0.1) -> None:
+        if not 0 < min_delay <= delta:
+            raise ValueError("need 0 < min_delay <= delta")
+        self.delta = delta
+        self.min_delay = min_delay
+
+    def delay(self, sender, receiver, message, now, rng) -> float:
+        return rng.uniform(self.min_delay, self.delta)
+
+    def describe(self) -> str:
+        return f"sync(Δ={self.delta})"
+
+
+class AsynchronousDelay(DelayModel):
+    """Untargeted asynchrony: heavy-tailed (Pareto) delays.
+
+    A fraction of messages take far longer than any reasonable timeout, so
+    rounds keep failing even though everything is eventually delivered.
+    """
+
+    def __init__(
+        self,
+        base_delay: float = 0.1,
+        tail_scale: float = 5.0,
+        tail_alpha: float = 1.3,
+        max_delay: float = 500.0,
+    ) -> None:
+        self.base_delay = base_delay
+        self.tail_scale = tail_scale
+        self.tail_alpha = tail_alpha
+        self.max_delay = max_delay
+
+    def delay(self, sender, receiver, message, now, rng) -> float:
+        tail = self.tail_scale * (rng.paretovariate(self.tail_alpha) - 1.0)
+        return min(self.base_delay + tail, self.max_delay)
+
+    def describe(self) -> str:
+        return f"async(pareto α={self.tail_alpha})"
+
+
+class LeaderTargetingAdversary(DelayModel):
+    """The strongest practical attack on leader-based protocols.
+
+    An omniscient scheduler that delays every message to or from the
+    replicas currently reported as "targets" (the current round leaders of
+    the victim protocol) by ``attack_delay`` — far beyond any timeout — while
+    keeping all other traffic fast.  Against DiemBFT's pacemaker this
+    prevents any QC from ever forming (no liveness); against the fallback
+    protocol it merely forces the fallback path, which is leaderless until
+    the retroactive coin flip, so progress continues.
+
+    Args:
+        targets: callable returning the replica ids to suppress *now*.
+        attack_delay: delay applied to suppressed traffic.
+        fast: model for non-targeted traffic.
+    """
+
+    def __init__(
+        self,
+        targets: Callable[[], Iterable[int]],
+        attack_delay: float = 60.0,
+        fast: Optional[DelayModel] = None,
+    ) -> None:
+        self.targets = targets
+        self.attack_delay = attack_delay
+        self.fast = fast or SynchronousDelay()
+
+    def delay(self, sender, receiver, message, now, rng) -> float:
+        targeted = set(self.targets())
+        if sender in targeted or receiver in targeted:
+            # Jitter keeps the event order from degenerating.
+            return self.attack_delay + rng.uniform(0.0, 1.0)
+        return self.fast.delay(sender, receiver, message, now, rng)
+
+    def describe(self) -> str:
+        return f"leader-attack(d={self.attack_delay})"
+
+
+class PartialSynchronyDelay(DelayModel):
+    """Partially synchronous run: ``before`` until GST, ``after`` afterwards.
+
+    Messages sent before GST arrive no earlier than GST would allow under
+    the pre-GST model, but we additionally clamp the *arrival* to at most
+    ``gst + after.delta``-style bounds by re-drawing from the post-GST model
+    for messages sent after GST (the standard GST formulation only bounds
+    post-GST sends; pre-GST messages keep their adversarial delays, which is
+    what we model).
+    """
+
+    def __init__(self, gst: float, before: DelayModel, after: DelayModel) -> None:
+        self.gst = gst
+        self.before = before
+        self.after = after
+
+    def delay(self, sender, receiver, message, now, rng) -> float:
+        if now >= self.gst:
+            return self.after.delay(sender, receiver, message, now, rng)
+        return self.before.delay(sender, receiver, message, now, rng)
+
+    def describe(self) -> str:
+        return f"partial-sync(GST={self.gst})"
+
+
+class PartitionDelay(DelayModel):
+    """Network partition that heals at ``heal_time``.
+
+    Messages crossing group boundaries are held until the partition heals
+    (plus a normal delay); intra-group traffic is unaffected.  Reliable
+    delivery is preserved because the heal time is finite.
+    """
+
+    def __init__(
+        self,
+        groups: Sequence[Sequence[int]],
+        heal_time: float,
+        base: Optional[DelayModel] = None,
+    ) -> None:
+        self.group_of: dict[int, int] = {}
+        for index, group in enumerate(groups):
+            for replica in group:
+                if replica in self.group_of:
+                    raise ValueError(f"replica {replica} in two partition groups")
+                self.group_of[replica] = index
+        self.heal_time = heal_time
+        self.base = base or SynchronousDelay()
+
+    def delay(self, sender, receiver, message, now, rng) -> float:
+        base_delay = self.base.delay(sender, receiver, message, now, rng)
+        same_side = self.group_of.get(sender) == self.group_of.get(receiver)
+        if same_side or now >= self.heal_time:
+            return base_delay
+        return (self.heal_time - now) + base_delay
+
+    def describe(self) -> str:
+        return f"partition(heal={self.heal_time})"
+
+
+class NetworkSchedule(DelayModel):
+    """Piecewise delay model: phases of (start_time, model).
+
+    Used to script runs like "synchronous for 50s, asynchronous for 100s,
+    synchronous again" (the paper's motivating deployment story).
+    """
+
+    def __init__(self, phases: Sequence[tuple[float, DelayModel]]) -> None:
+        if not phases:
+            raise ValueError("schedule needs at least one phase")
+        self.phases = sorted(phases, key=lambda phase: phase[0])
+        if self.phases[0][0] > 0:
+            raise ValueError("first phase must start at time 0")
+
+    def model_at(self, now: float) -> DelayModel:
+        current = self.phases[0][1]
+        for start, model in self.phases:
+            if now >= start:
+                current = model
+            else:
+                break
+        return current
+
+    def delay(self, sender, receiver, message, now, rng) -> float:
+        return self.model_at(now).delay(sender, receiver, message, now, rng)
+
+    def describe(self) -> str:
+        parts = ", ".join(f"{start}:{model.describe()}" for start, model in self.phases)
+        return f"schedule[{parts}]"

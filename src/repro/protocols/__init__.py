@@ -1,0 +1,32 @@
+"""Assembled protocols: named presets over the replica + engine machinery.
+
+Each preset is a :class:`~repro.core.config.ProtocolConfig` factory plus a
+human-readable description, so examples and benchmarks can refer to
+protocols by name:
+
+- ``fallback-3chain`` — the paper's protocol (DiemBFT + async fallback).
+- ``fallback-2chain`` — Section 4's reduced-latency variant.
+- ``diembft``         — partially synchronous baseline (original pacemaker).
+- ``always-fallback`` — always-quadratic asynchronous baseline (VABA/ACE
+  stand-in).
+"""
+
+from repro.protocols.presets import (
+    PROTOCOLS,
+    ProtocolPreset,
+    always_fallback_config,
+    diembft_config,
+    fallback_2chain_config,
+    fallback_smr_config,
+    preset,
+)
+
+__all__ = [
+    "PROTOCOLS",
+    "ProtocolPreset",
+    "always_fallback_config",
+    "diembft_config",
+    "fallback_2chain_config",
+    "fallback_smr_config",
+    "preset",
+]

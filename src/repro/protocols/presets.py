@@ -1,0 +1,85 @@
+"""Named protocol presets (see package docstring)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+from repro.core.config import ProtocolConfig, ProtocolVariant
+
+
+@dataclass(frozen=True)
+class ProtocolPreset:
+    """A named, describable protocol configuration factory."""
+
+    name: str
+    description: str
+    paper_sync_cost: str
+    paper_async_live: bool
+    make_config: Callable[[int], ProtocolConfig]
+
+    def config(self, n: int, **overrides) -> ProtocolConfig:
+        base = self.make_config(n)
+        if overrides:
+            base = replace(base, **overrides)
+        return base
+
+
+def fallback_smr_config(n: int, **overrides) -> ProtocolConfig:
+    """The paper's protocol: DiemBFT steady state + async fallback, 3-chain."""
+    return ProtocolConfig(n=n, variant=ProtocolVariant.FALLBACK_3CHAIN, **overrides)
+
+
+def fallback_2chain_config(n: int, **overrides) -> ProtocolConfig:
+    """Section 4: 1-chain lock, 2-chain commit, 2-height fallback chains."""
+    return ProtocolConfig(n=n, variant=ProtocolVariant.FALLBACK_2CHAIN, **overrides)
+
+
+def diembft_config(n: int, **overrides) -> ProtocolConfig:
+    """Baseline DiemBFT (Figure 1): quadratic pacemaker, not live if async."""
+    return ProtocolConfig(n=n, variant=ProtocolVariant.DIEMBFT, **overrides)
+
+
+def always_fallback_config(n: int, **overrides) -> ProtocolConfig:
+    """Always-quadratic asynchronous baseline (VABA/ACE stand-in)."""
+    return ProtocolConfig(n=n, variant=ProtocolVariant.ALWAYS_FALLBACK, **overrides)
+
+
+PROTOCOLS: dict[str, ProtocolPreset] = {
+    "fallback-3chain": ProtocolPreset(
+        name="fallback-3chain",
+        description="Ours: DiemBFT + asynchronous fallback (3-chain commit)",
+        paper_sync_cost="O(n)",
+        paper_async_live=True,
+        make_config=fallback_smr_config,
+    ),
+    "fallback-2chain": ProtocolPreset(
+        name="fallback-2chain",
+        description="Ours, Section 4: 2-chain commit for free",
+        paper_sync_cost="O(n)",
+        paper_async_live=True,
+        make_config=fallback_2chain_config,
+    ),
+    "diembft": ProtocolPreset(
+        name="diembft",
+        description="HotStuff/DiemBFT baseline (partially synchronous)",
+        paper_sync_cost="O(n)",
+        paper_async_live=False,
+        make_config=diembft_config,
+    ),
+    "always-fallback": ProtocolPreset(
+        name="always-fallback",
+        description="VABA/ACE-style always-quadratic asynchronous baseline",
+        paper_sync_cost="O(n^2)",
+        paper_async_live=True,
+        make_config=always_fallback_config,
+    ),
+}
+
+
+def preset(name: str) -> ProtocolPreset:
+    try:
+        return PROTOCOLS[name]
+    except KeyError:
+        known = ", ".join(sorted(PROTOCOLS))
+        raise KeyError(f"unknown protocol {name!r}; known: {known}") from None

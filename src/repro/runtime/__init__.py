@@ -1,0 +1,6 @@
+"""Cluster runtime: wiring replicas, networks, workloads and metrics."""
+
+from repro.runtime.cluster import Cluster, ClusterBuilder, RunResult
+from repro.runtime.metrics import MetricsCollector
+
+__all__ = ["Cluster", "ClusterBuilder", "MetricsCollector", "RunResult"]

@@ -1,0 +1,333 @@
+"""Cluster construction and experiment running.
+
+:class:`ClusterBuilder` assembles an n-replica cluster: dealer setup, the
+simulated network with a chosen delay model, per-replica mempools fed by a
+workload, optional Byzantine replicas, and a metrics collector.
+:class:`Cluster` drives the run (until a time bound, a commit count, or an
+arbitrary predicate) and exposes the pieces for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.core.config import ProtocolConfig, ProtocolVariant
+from repro.core.context import SharedSetup
+from repro.core.leader import LeaderSchedule
+from repro.core.replica import Replica
+from repro.ledger.ledger import StateMachine
+from repro.mempool.mempool import Mempool
+from repro.net.conditions import DelayModel, SynchronousDelay
+from repro.net.network import Network
+from repro.runtime.metrics import MetricsCollector
+from repro.sim.process import Process
+from repro.sim.scheduler import Scheduler
+from repro.types.blocks import AnyBlock
+from repro.types.transactions import Transaction
+from repro.workloads.generator import Workload
+
+#: Factory producing a (possibly Byzantine) replica process.  Receives the
+#: same arguments as :class:`Replica`.
+ReplicaFactory = Callable[..., Process]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one cluster run."""
+
+    cluster: "Cluster"
+    stopped_at: float
+
+    @property
+    def metrics(self) -> MetricsCollector:
+        return self.cluster.metrics
+
+    @property
+    def decisions(self) -> int:
+        return self.cluster.metrics.decisions()
+
+    def committed_chain(self, replica: Optional[int] = None) -> list[AnyBlock]:
+        """Committed blocks at a replica (default: first honest)."""
+        target = replica if replica is not None else self.cluster.honest_ids[0]
+        process = self.cluster.replicas[target]
+        if not isinstance(process, Replica):
+            raise ValueError(f"replica {target} is not an honest Replica")
+        return process.ledger.committed_blocks()
+
+
+class Cluster:
+    """A running (or runnable) cluster of replicas on a simulated network."""
+
+    def __init__(
+        self,
+        config: ProtocolConfig,
+        scheduler: Scheduler,
+        network: Network,
+        setup: SharedSetup,
+        replicas: Sequence[Process],
+        mempools: Sequence[Mempool],
+        metrics: MetricsCollector,
+        workload: Optional[Workload],
+        byzantine_ids: Sequence[int],
+        clients: Sequence["Client"] = (),
+    ) -> None:
+        self.config = config
+        self.scheduler = scheduler
+        self.network = network
+        self.setup = setup
+        self.replicas = list(replicas)
+        self.mempools = list(mempools)
+        self.metrics = metrics
+        self.workload = workload
+        self.clients = list(clients)
+        self.byzantine_ids = list(byzantine_ids)
+        self.honest_ids = [
+            replica_id
+            for replica_id in range(config.n)
+            if replica_id not in set(byzantine_ids)
+        ]
+        self.schedule = LeaderSchedule(config.n, config.leader_rotation_interval)
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def replica(self, replica_id: int) -> Process:
+        return self.replicas[replica_id]
+
+    def honest_replicas(self) -> list[Replica]:
+        return [
+            process
+            for process in self.replicas
+            if isinstance(process, Replica) and process.process_id in self.honest_ids
+        ]
+
+    def current_leaders(self) -> set[int]:
+        """Leaders of the rounds honest replicas are currently in.
+
+        This is the oracle the leader-targeting adversary uses: an
+        omniscient scheduler always knows whom to delay.
+        """
+        return {
+            self.schedule.leader(replica.r_cur) for replica in self.honest_replicas()
+        }
+
+    def submit(self, transaction: Transaction) -> None:
+        """Inject one client transaction into every mempool."""
+        for mempool in self.mempools:
+            mempool.submit(transaction)
+
+    def change_network(self, model: DelayModel) -> None:
+        self.network.set_delay_model(model)
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        if self.workload is not None:
+            notify = getattr(self.workload, "notify_committed", None)
+            if callable(notify):
+                self.metrics.commit_listeners.append(notify)
+            self.workload.start(self.scheduler)
+        for process in self.replicas:
+            process.on_start()
+        for client in self.clients:
+            client.on_start()
+
+    def total_confirmations(self) -> int:
+        """Client-side confirmed commits across all clients."""
+        return sum(len(client.confirmations) for client in self.clients)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> RunResult:
+        self.start()
+        stopped_at = self.scheduler.run(
+            until=until, max_events=max_events, stop_when=stop_when
+        )
+        return RunResult(cluster=self, stopped_at=stopped_at)
+
+    def run_until_commits(
+        self,
+        count: int,
+        until: float = 100_000.0,
+        max_events: int = 20_000_000,
+        everywhere: bool = False,
+    ) -> RunResult:
+        """Run until ``count`` blocks commit (at one honest replica, or at
+        every honest replica with ``everywhere=True``)."""
+
+        def reached() -> bool:
+            if everywhere:
+                return self.metrics.min_honest_height() >= count
+            return self.metrics.decisions() >= count
+
+        return self.run(until=until, max_events=max_events, stop_when=reached)
+
+
+class ClusterBuilder:
+    """Fluent builder for clusters.
+
+    Example::
+
+        cluster = (
+            ClusterBuilder(n=4, seed=7)
+            .with_variant(ProtocolVariant.FALLBACK_3CHAIN)
+            .with_delay_model(SynchronousDelay(delta=1.0))
+            .build()
+        )
+    """
+
+    def __init__(self, n: int = 4, seed: int = 0, config: Optional[ProtocolConfig] = None):
+        self._config = config if config is not None else ProtocolConfig(n=n)
+        if config is not None and config.n != n and n != 4:
+            raise ValueError("pass either n or config, not conflicting both")
+        self.seed = seed
+        self._delay_model: DelayModel = SynchronousDelay()
+        self._delay_model_factory: Optional[Callable[["Cluster"], DelayModel]] = None
+        self._workload_factory: Optional[Callable[[list[Mempool]], Workload]] = None
+        self._byzantine: dict[int, ReplicaFactory] = {}
+        self._state_machine_factory: Optional[Callable[[], StateMachine]] = None
+        self._preload_transactions = 200
+        self._client_count = 0
+        self._client_kwargs: dict = {}
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def with_config(self, config: ProtocolConfig) -> "ClusterBuilder":
+        self._config = config
+        return self
+
+    def with_variant(self, variant: ProtocolVariant) -> "ClusterBuilder":
+        from dataclasses import replace
+
+        self._config = replace(self._config, variant=variant)
+        return self
+
+    def with_delay_model(self, model: DelayModel) -> "ClusterBuilder":
+        self._delay_model = model
+        self._delay_model_factory = None
+        return self
+
+    def with_delay_model_factory(
+        self, factory: Callable[["Cluster"], DelayModel]
+    ) -> "ClusterBuilder":
+        """Delay model that needs the cluster (e.g. the leader oracle)."""
+        self._delay_model_factory = factory
+        return self
+
+    def with_workload(
+        self, factory: Callable[[list[Mempool]], Workload]
+    ) -> "ClusterBuilder":
+        self._workload_factory = factory
+        return self
+
+    def with_preload(self, count: int) -> "ClusterBuilder":
+        """Size of the default preloaded workload (ignored with a custom one)."""
+        self._preload_transactions = count
+        return self
+
+    def with_byzantine(self, replica_id: int, factory: ReplicaFactory) -> "ClusterBuilder":
+        if not 0 <= replica_id < self._config.n:
+            raise ValueError(f"replica id {replica_id} out of range")
+        if len(self._byzantine) >= self._config.f and replica_id not in self._byzantine:
+            raise ValueError(
+                f"cannot make more than f={self._config.f} replicas Byzantine"
+            )
+        self._byzantine[replica_id] = factory
+        return self
+
+    def with_state_machine(self, factory: Callable[[], StateMachine]) -> "ClusterBuilder":
+        self._state_machine_factory = factory
+        return self
+
+    def with_clients(self, count: int, **client_kwargs) -> "ClusterBuilder":
+        """Attach closed-loop BFT clients (ids n, n+1, ...).
+
+        Keyword arguments are forwarded to :class:`repro.client.Client`
+        (``outstanding``, ``total``, ``retransmit_interval``, ...).
+        """
+        if count < 0:
+            raise ValueError("client count must be non-negative")
+        self._client_count = count
+        self._client_kwargs = client_kwargs
+        return self
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def build(self) -> Cluster:
+        config = self._config
+        scheduler = Scheduler(seed=self.seed)
+        network = Network(scheduler, self._delay_model)
+        setup = SharedSetup.deal(config, coin_seed=self.seed)
+        byzantine_ids = sorted(self._byzantine)
+        metrics = MetricsCollector(
+            honest_ids=[i for i in range(config.n) if i not in self._byzantine]
+        )
+        network.add_send_hook(metrics.on_send)
+
+        mempools = [Mempool(batch_size=config.batch_size) for _ in range(config.n)]
+        replicas: list[Process] = []
+        for replica_id in range(config.n):
+            factory = self._byzantine.get(replica_id, Replica)
+            state_machine = (
+                self._state_machine_factory() if self._state_machine_factory else None
+            )
+            process = factory(
+                replica_id,
+                config,
+                setup.context_for(replica_id),
+                network,
+                scheduler,
+                mempool=mempools[replica_id],
+                state_machine=state_machine,
+                observer=metrics,
+            )
+            replicas.append(process)
+            network.register(process)
+
+        if self._workload_factory is not None:
+            workload = self._workload_factory(mempools)
+        else:
+            workload = Workload(mempools, count=self._preload_transactions)
+
+        clients = []
+        if self._client_count:
+            from repro.client.client import Client
+
+            for offset in range(self._client_count):
+                client = Client(
+                    process_id=config.n + offset,
+                    scheduler=scheduler,
+                    network=network,
+                    f=config.f,
+                    replica_ids=list(range(config.n)),
+                    **self._client_kwargs,
+                )
+                network.register(client, in_multicast_group=False)
+                clients.append(client)
+
+        cluster = Cluster(
+            config=config,
+            scheduler=scheduler,
+            network=network,
+            setup=setup,
+            replicas=replicas,
+            mempools=mempools,
+            metrics=metrics,
+            workload=workload,
+            byzantine_ids=byzantine_ids,
+            clients=clients,
+        )
+        if self._delay_model_factory is not None:
+            network.set_delay_model(self._delay_model_factory(cluster))
+        return cluster

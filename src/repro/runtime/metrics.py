@@ -1,0 +1,218 @@
+"""Metrics: message/byte accounting, commits, rounds, fallback events.
+
+The collector hangs off the network's send hook and the replicas' observer
+hook, so it sees every honest network message and every state transition.
+Communication-cost figures count only messages sent by *honest* replicas
+(Byzantine senders can inflate their own cost arbitrarily), matching how the
+paper accounts complexity.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.replica import ReplicaObserver
+from repro.ledger.ledger import CommitRecord
+from repro.types.blocks import FallbackBlock
+
+#: Message types belonging to the linear fast path.
+STEADY_TYPES = frozenset({"Proposal", "Vote"})
+#: Message types belonging to view-change machinery (either variant).
+VIEWCHANGE_TYPES = frozenset(
+    {
+        "PacemakerTimeout",
+        "PacemakerTCMessage",
+        "FallbackTimeout",
+        "FallbackTCMessage",
+        "FallbackProposal",
+        "FallbackVote",
+        "FallbackQCMessage",
+        "CoinShareMessage",
+        "CoinQCMessage",
+    }
+)
+#: Catch-up traffic (not part of the protocol's complexity accounting).
+SYNC_TYPES = frozenset({"BlockRequest", "BlockResponse"})
+
+
+@dataclass
+class CommitEvent:
+    """One block commit observed at one replica."""
+
+    replica: int
+    position: int
+    round: int
+    view: int
+    time: float
+    fallback_block: bool
+    batch_size: int
+    tx_latencies: list[float] = field(default_factory=list)
+
+
+@dataclass
+class FallbackEvent:
+    replica: int
+    view: int
+    time: float
+    kind: str  # "entered" | "exited"
+    leader: Optional[int] = None
+
+
+class MetricsCollector(ReplicaObserver):
+    """Aggregates everything the benchmarks report."""
+
+    def __init__(self, honest_ids: Iterable[int]) -> None:
+        self.honest_ids = set(honest_ids)
+        self.message_counts: Counter = Counter()
+        self.message_bytes: Counter = Counter()
+        self.honest_messages = 0
+        self.honest_bytes = 0
+        self.commits: list[CommitEvent] = []
+        self.fallback_events: list[FallbackEvent] = []
+        self.timeouts: list[tuple[int, int, int, float]] = []
+        self.round_entries: list[tuple[int, int, float]] = []
+        self.proposals = 0
+        self._committed_positions: dict[int, int] = {}
+        #: Callables invoked once per distinct committed transaction.
+        self.commit_listeners: list = []
+        self._notified_txs: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Network hook
+    # ------------------------------------------------------------------
+    def on_send(self, sender: int, receiver: int, message: object, time: float, delay: float) -> None:
+        if sender not in self.honest_ids:
+            return
+        name = type(message).__name__
+        size = getattr(message, "wire_size", lambda: 64)()
+        self.message_counts[name] += 1
+        self.message_bytes[name] += size
+        self.honest_messages += 1
+        self.honest_bytes += size
+
+    # ------------------------------------------------------------------
+    # Replica observer hooks
+    # ------------------------------------------------------------------
+    def on_commit(self, replica: int, record: CommitRecord, now: float) -> None:
+        block = record.block
+        self.commits.append(
+            CommitEvent(
+                replica=replica,
+                position=record.position,
+                round=block.round,
+                view=block.view,
+                time=now,
+                fallback_block=isinstance(block, FallbackBlock),
+                batch_size=len(block.batch),
+                tx_latencies=[now - tx.submitted_at for tx in block.batch],
+            )
+        )
+        if replica in self.honest_ids:
+            previous = self._committed_positions.get(replica, -1)
+            self._committed_positions[replica] = max(previous, record.position)
+            if self.commit_listeners:
+                for transaction in block.batch:
+                    if transaction.tx_id in self._notified_txs:
+                        continue
+                    self._notified_txs.add(transaction.tx_id)
+                    for listener in self.commit_listeners:
+                        listener(transaction)
+
+    def on_round_entered(self, replica: int, round_number: int, now: float) -> None:
+        self.round_entries.append((replica, round_number, now))
+
+    def on_timeout(self, replica: int, view: int, round_number: int, now: float) -> None:
+        self.timeouts.append((replica, view, round_number, now))
+
+    def on_fallback_entered(self, replica: int, view: int, now: float) -> None:
+        self.fallback_events.append(
+            FallbackEvent(replica=replica, view=view, time=now, kind="entered")
+        )
+
+    def on_fallback_exited(self, replica: int, view: int, leader: int, now: float) -> None:
+        self.fallback_events.append(
+            FallbackEvent(replica=replica, view=view, time=now, kind="exited", leader=leader)
+        )
+
+    def on_proposal(self, replica: int, block, now: float) -> None:
+        self.proposals += 1
+
+    # ------------------------------------------------------------------
+    # Derived statistics
+    # ------------------------------------------------------------------
+    def decisions(self) -> int:
+        """Committed chain height: the max over honest replicas.
+
+        Safety makes committed logs prefix-consistent, so the max height is
+        the number of globally decided blocks.
+        """
+        if not self._committed_positions:
+            return 0
+        return max(self._committed_positions.values()) + 1
+
+    def min_honest_height(self) -> int:
+        """Height every honest replica has reached (lagging replicas count)."""
+        if len(self._committed_positions) < len(self.honest_ids):
+            return 0
+        return min(self._committed_positions.values()) + 1
+
+    def messages_per_decision(self) -> Optional[float]:
+        decisions = self.decisions()
+        if decisions == 0:
+            return None
+        return self.honest_messages / decisions
+
+    def bytes_per_decision(self) -> Optional[float]:
+        decisions = self.decisions()
+        if decisions == 0:
+            return None
+        return self.honest_bytes / decisions
+
+    def phase_messages(self) -> dict[str, int]:
+        """Message counts grouped into steady / view-change / sync phases."""
+        phases = {"steady": 0, "view_change": 0, "sync": 0, "other": 0}
+        for name, count in self.message_counts.items():
+            if name in STEADY_TYPES:
+                phases["steady"] += count
+            elif name in VIEWCHANGE_TYPES:
+                phases["view_change"] += count
+            elif name in SYNC_TYPES:
+                phases["sync"] += count
+            else:
+                phases["other"] += count
+        return phases
+
+    def commit_latencies(self) -> list[float]:
+        """End-to-end transaction latencies across all honest commits."""
+        return [
+            latency
+            for event in self.commits
+            if event.replica in self.honest_ids
+            for latency in event.tx_latencies
+        ]
+
+    def fallback_count(self) -> int:
+        """Distinct fallback views some honest replica entered."""
+        return len(
+            {event.view for event in self.fallback_events if event.kind == "entered"}
+        )
+
+    def commits_at(self, replica: int) -> list[CommitEvent]:
+        return [event for event in self.commits if event.replica == replica]
+
+    def summary(self) -> str:
+        lines = [
+            f"decisions: {self.decisions()}",
+            f"honest messages: {self.honest_messages}",
+            f"honest bytes: {self.honest_bytes}",
+            f"messages/decision: {self.messages_per_decision()}",
+            f"fallbacks entered: {self.fallback_count()}",
+        ]
+        phases = self.phase_messages()
+        lines.append(
+            "phases: "
+            + ", ".join(f"{name}={count}" for name, count in sorted(phases.items()))
+        )
+        return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""Deterministic discrete-event simulation substrate.
+
+Every protocol in this repository runs on top of this engine.  The engine is
+fully deterministic: given the same seed and the same set of processes, two
+runs produce identical event orders, which makes adversarial schedules and
+failures reproducible down to the message.
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.process import Process
+from repro.sim.scheduler import Scheduler, SimulationError, Timer
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Process",
+    "Scheduler",
+    "SimulationError",
+    "Timer",
+]

@@ -1,0 +1,86 @@
+"""Event primitives for the discrete-event engine.
+
+An :class:`Event` is a callback scheduled at a simulated time.  Events are
+totally ordered by ``(time, sequence)`` where the sequence number is the
+global insertion order; two events scheduled for the same instant therefore
+fire in the order they were scheduled, which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: simulated time at which the event fires.
+        sequence: global tie-breaker assigned by the queue.
+        action: zero-argument callable run when the event fires.
+        label: human-readable tag used in traces and error messages.
+        cancelled: set via :meth:`cancel`; cancelled events are skipped.
+    """
+
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when popped."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Run the callback unless the event was cancelled."""
+        if not self.cancelled:
+            self.action()
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def push(self, time: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` at ``time`` and return the event handle."""
+        if time < 0:
+            raise ValueError(f"cannot schedule event at negative time {time}")
+        event = Event(time=time, sequence=self._sequence, action=action, label=label)
+        self._sequence += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event, or ``None``."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the time of the earliest pending event without popping it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        if self._heap:
+            return self._heap[0].time
+        return None
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+
+
+def describe_event(event: Event) -> dict[str, Any]:
+    """Return a JSON-friendly description of ``event`` (used by traces)."""
+    return {"time": event.time, "seq": event.sequence, "label": event.label}

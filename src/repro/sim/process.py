@@ -1,0 +1,104 @@
+"""Actor-style process base class.
+
+A :class:`Process` is anything that can receive messages from the network and
+set timers on the scheduler.  Replicas, clients and fault wrappers are all
+processes.  Handlers run atomically: the engine processes one delivery at a
+time, so handlers never need locks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.sim.scheduler import Scheduler, Timer
+
+
+class Process:
+    """Base class for simulated actors.
+
+    Subclasses override :meth:`on_message` and may use :meth:`set_timer` /
+    :meth:`cancel_timer` with named slots (a fresh timer for a name replaces
+    and cancels the previous one, mirroring the "stops all timers" wording in
+    the paper's pseudocode).
+    """
+
+    def __init__(self, process_id: int, scheduler: Scheduler) -> None:
+        self.process_id = process_id
+        self.scheduler = scheduler
+        self._timers: dict[str, Timer] = {}
+        self.crashed = False
+
+    # ------------------------------------------------------------------
+    # Messaging (network calls deliver here)
+    # ------------------------------------------------------------------
+    def deliver(self, sender: int, message: Any) -> None:
+        """Entry point used by the network; ignores input once crashed."""
+        if self.crashed:
+            return
+        self.on_message(sender, message)
+
+    def on_message(self, sender: int, message: Any) -> None:
+        """Handle an incoming message.  Subclasses override."""
+        raise NotImplementedError
+
+    def on_start(self) -> None:
+        """Hook invoked once when the cluster starts the process."""
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    def set_timer(self, name: str, delay: float) -> None:
+        """Arm (or re-arm) the named timer ``delay`` from now."""
+        self.cancel_timer(name)
+        self._timers[name] = self.scheduler.set_timer(
+            delay,
+            lambda: self._fire_timer(name),
+            label=f"p{self.process_id}:{name}",
+        )
+
+    def cancel_timer(self, name: str) -> None:
+        timer = self._timers.pop(name, None)
+        if timer is not None:
+            timer.cancel()
+
+    def cancel_all_timers(self) -> None:
+        for name in list(self._timers):
+            self.cancel_timer(name)
+
+    def timer_active(self, name: str) -> bool:
+        timer = self._timers.get(name)
+        return timer is not None and timer.active
+
+    def _fire_timer(self, name: str) -> None:
+        self._timers.pop(name, None)
+        if not self.crashed:
+            self.on_timer(name)
+
+    def on_timer(self, name: str) -> None:
+        """Handle a timer expiry.  Subclasses override as needed."""
+
+    # ------------------------------------------------------------------
+    # Failure control (used by fault injection)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Silence the process permanently: no input, no timers."""
+        self.crashed = True
+        self.cancel_all_timers()
+
+
+class NullProcess(Process):
+    """A process that ignores everything (placeholder for crashed slots)."""
+
+    def on_message(self, sender: int, message: Any) -> None:  # noqa: D102
+        return None
+
+
+def process_name(process: Optional[Process]) -> str:
+    """Readable name for logs: ``replica-3`` style."""
+    if process is None:
+        return "<none>"
+    return f"{type(process).__name__.lower()}-{process.process_id}"

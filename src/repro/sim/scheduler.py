@@ -1,0 +1,168 @@
+"""The simulation scheduler: clock, timers, seeded randomness, run loop.
+
+The scheduler owns the single source of randomness for a run.  Network delay
+models, workload generators and the common coin all draw from
+:attr:`Scheduler.rng` (or children derived from it), so a run is a pure
+function of its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.sim.events import Event, EventQueue
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation is driven into an invalid state."""
+
+
+class Timer:
+    """Handle for a scheduled timer; supports cancellation and queries."""
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def deadline(self) -> float:
+        return self._event.time
+
+    @property
+    def active(self) -> bool:
+        return not self._event.cancelled
+
+    def cancel(self) -> None:
+        self._event.cancel()
+
+
+class Scheduler:
+    """Deterministic discrete-event scheduler.
+
+    Typical use::
+
+        scheduler = Scheduler(seed=7)
+        scheduler.call_at(1.0, lambda: print("hello"))
+        scheduler.run(until=10.0)
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._events_processed = 0
+        self._running = False
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------
+    # Clock and scheduling
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def call_at(self, time: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` at absolute simulated time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time} < now {self._now}"
+            )
+        return self._queue.push(time, action, label)
+
+    def call_after(self, delay: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self._queue.push(self._now + delay, action, label)
+
+    def set_timer(self, delay: float, action: Callable[[], None], label: str = "timer") -> Timer:
+        """Schedule a cancellable timer ``delay`` from now."""
+        return Timer(self.call_after(delay, action, label))
+
+    def child_rng(self, *salt: object) -> random.Random:
+        """Derive an independent, deterministic RNG from the run seed.
+
+        Components (network, workload, coin) should use child RNGs so that
+        adding randomness consumption to one component does not perturb the
+        draws seen by another.
+        """
+        return random.Random((self.seed, tuple(salt)).__repr__())
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Request that the run loop stop before the next event."""
+        self._stop_requested = True
+
+    def step(self) -> bool:
+        """Process a single event.  Returns False when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if event.time < self._now:
+            raise SimulationError("event queue returned an event from the past")
+        self._now = event.time
+        self._events_processed += 1
+        event.fire()
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+        check_every: int = 64,
+    ) -> float:
+        """Run events until a stop condition holds.
+
+        Args:
+            until: stop once simulated time would exceed this bound.
+            max_events: stop after this many events (guards runaway runs).
+            stop_when: predicate checked every ``check_every`` events; the
+                run stops as soon as it returns True.
+            check_every: how often (in events) to evaluate ``stop_when``.
+
+        Returns:
+            The simulated time when the run stopped.
+        """
+        if self._running:
+            raise SimulationError("scheduler run loop is not reentrant")
+        self._running = True
+        self._stop_requested = False
+        processed = 0
+        try:
+            while not self._stop_requested:
+                if max_events is not None and processed >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                if not self.step():
+                    break
+                processed += 1
+                if stop_when is not None and processed % check_every == 0 and stop_when():
+                    break
+        finally:
+            self._running = False
+        return self._now
+
+    def drain(self, limit: int = 1_000_000) -> int:
+        """Run until the queue is empty (or ``limit`` events); return count."""
+        count = 0
+        while count < limit and self.step():
+            count += 1
+        return count

@@ -1,0 +1,24 @@
+"""Durable storage and crash recovery.
+
+Production BFT replicas persist a small amount of *safety-critical* state
+(DiemBFT's "SafetyRules storage"): the highest voted round, the lock, the
+view, and what they have already proposed.  Everything else — block store,
+ledger, vote accumulators — is volatile and rebuilt from peers after a
+restart.  This package provides the simulated equivalent:
+
+- :class:`SafetyJournal` — write-ahead storage that survives a crash,
+- :class:`DurableReplica` — an honest replica that journals its safety
+  state after every handled event,
+- :class:`RecoveringReplica` — crashes at a configured time, loses all
+  volatile state, restores the journal, and rejoins via block sync.
+"""
+
+from repro.storage.journal import SafetySnapshot, SafetyJournal
+from repro.storage.durable import DurableReplica, RecoveringReplica
+
+__all__ = [
+    "DurableReplica",
+    "RecoveringReplica",
+    "SafetyJournal",
+    "SafetySnapshot",
+]

@@ -1,0 +1,144 @@
+"""Durable and recovering replicas.
+
+:class:`DurableReplica` journals its safety state after every handled event.
+Because the simulation delivers events atomically (a crash can only happen
+*between* events), snapshot-after-every-event gives exactly write-ahead
+semantics with respect to any message the replica has sent.
+
+:class:`RecoveringReplica` crashes at ``crash_at`` — losing its block store,
+ledger, mempool, vote accumulators and all fallback working state — and at
+``recover_at`` restores the journal, rebuilds volatile state from scratch,
+and rejoins the protocol.  Missing blocks stream back in through the normal
+catch-up path (certificate-driven block requests), so the replica recommits
+the chain and resumes voting without ever contradicting its pre-crash votes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.replica import Replica
+from repro.core.safety import FallbackVoteState
+from repro.ledger.ledger import StateMachine
+from repro.mempool.mempool import Mempool
+from repro.storage.journal import SafetyJournal, SafetySnapshot
+
+
+class DurableReplica(Replica):
+    """An honest replica with journaled safety state."""
+
+    def __init__(self, *args, journal: Optional[SafetyJournal] = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.journal = journal if journal is not None else SafetyJournal()
+        self._persist()
+
+    # Journal after every externally visible step.
+    def deliver(self, sender: int, message: object) -> None:
+        super().deliver(sender, message)
+        if not self.crashed:
+            self._persist()
+
+    def on_timer(self, name: str) -> None:
+        super().on_timer(name)
+        if not self.crashed:
+            self._persist()
+
+    def on_start(self) -> None:
+        super().on_start()
+        self._persist()
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def _persist(self) -> None:
+        snapshot = SafetySnapshot(
+            r_vote=self.safety.r_vote,
+            rank_lock=self.safety.rank_lock,
+            v_cur=self.v_cur,
+            fallback_mode=self.fallback_mode,
+            entered_view=self.fallback.entered_view if self.fallback else -1,
+            fallbacks_entered=self.fallbacks_entered,
+            proposed=set(self._proposed),
+        )
+        votes = self.safety.fallback_votes
+        if votes is not None:
+            snapshot.fallback_view = votes.view
+            snapshot.fallback_r_vote = dict(votes.r_vote)
+            snapshot.fallback_h_vote = dict(votes.h_vote)
+        if self.fallback is not None:
+            snapshot.fallback_proposed = dict(self.fallback._max_proposed_height)
+        self.journal.write(snapshot)
+
+    def _restore(self, snapshot: SafetySnapshot) -> None:
+        self.safety.r_vote = snapshot.r_vote
+        self.safety.rank_lock = snapshot.rank_lock
+        self.v_cur = snapshot.v_cur
+        self.fallback_mode = snapshot.fallback_mode
+        self.fallbacks_entered = snapshot.fallbacks_entered
+        self._proposed = set(snapshot.proposed)
+        if snapshot.fallback_view is not None:
+            state = FallbackVoteState(view=snapshot.fallback_view)
+            state.r_vote = dict(snapshot.fallback_r_vote)
+            state.h_vote = dict(snapshot.fallback_h_vote)
+            self.safety._fallback_votes = state
+        if self.fallback is not None:
+            self.fallback.entered_view = snapshot.entered_view
+            self.fallback._max_proposed_height = dict(snapshot.fallback_proposed)
+            # Never re-propose fallback blocks for already-covered heights:
+            # _max_proposed_height gates _propose_next_height, and entering
+            # the same view again is blocked by entered_view.
+
+
+class RecoveringReplica(DurableReplica):
+    """Crashes, loses volatile state, restores the journal, rejoins."""
+
+    def __init__(
+        self,
+        *args,
+        crash_at: float = 50.0,
+        recover_at: float = 100.0,
+        **kwargs,
+    ) -> None:
+        if recover_at <= crash_at:
+            raise ValueError("recover_at must be after crash_at")
+        super().__init__(*args, **kwargs)
+        self.crash_at = crash_at
+        self.recover_at = recover_at
+        self.recovered = False
+
+    def on_start(self) -> None:
+        super().on_start()
+        self.scheduler.call_at(self.crash_at, self.crash, label=f"crash:{self.process_id}")
+        self.scheduler.call_at(
+            self.recover_at, self.recover, label=f"recover:{self.process_id}"
+        )
+
+    def recover(self) -> None:
+        """Restart from the journal with fresh volatile state."""
+        snapshot = self.journal.read()
+        journal = self.journal
+        observer = self.observer
+        # Rebuild everything volatile by re-running initialization with a
+        # fresh mempool and state machine (the network registration and the
+        # crypto identity are unchanged).
+        state_machine: Optional[StateMachine] = type(self.ledger.state_machine)()
+        Replica.__init__(
+            self,
+            self.process_id,
+            self.config,
+            self.crypto,
+            self.network,
+            self.scheduler,
+            mempool=Mempool(batch_size=self.config.batch_size),
+            state_machine=state_machine,
+            observer=observer,
+        )
+        self.journal = journal
+        if snapshot is not None:
+            self._restore(snapshot)
+        self.crashed = False
+        self.recovered = True
+        # Resume participation: arm the round timer unless mid-fallback.
+        if not self.fallback_mode:
+            self._arm_round_timer()
+        self._persist()

@@ -1,0 +1,70 @@
+"""The safety journal: simulated durable storage for one replica.
+
+The journal holds the minimal state a replica must never forget, even
+across a crash, to remain *safe* (liveness state is rebuilt from peers):
+
+- ``r_vote`` — never vote twice for the same round,
+- ``rank_lock`` — never vote against the lock,
+- ``v_cur`` / ``entered_view`` / per-proposer fallback vote maps — never
+  double-vote a fallback height,
+- proposed (view, round) pairs and fallback proposal heights — never
+  equivocate after restart.
+
+In the simulation a "write" is a deep snapshot kept in memory; the object
+survives the crash (it models the disk), while the replica's other state is
+wiped on recovery.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.types.certificates import Rank
+
+
+@dataclass
+class SafetySnapshot:
+    """One journaled safety-state record."""
+
+    r_vote: int = 0
+    rank_lock: Rank = field(default_factory=Rank.zero)
+    v_cur: int = 0
+    fallback_mode: bool = False
+    entered_view: int = -1
+    fallbacks_entered: int = 0
+    #: The fallback vote maps for the entered view (proposer -> value).
+    fallback_view: Optional[int] = None
+    fallback_r_vote: dict[int, int] = field(default_factory=dict)
+    fallback_h_vote: dict[int, int] = field(default_factory=dict)
+    #: Steady-state proposals made: set of (view, round).
+    proposed: set[tuple[int, int]] = field(default_factory=set)
+    #: Fallback proposals made: view -> max height proposed.
+    fallback_proposed: dict[int, int] = field(default_factory=dict)
+
+    def clone(self) -> "SafetySnapshot":
+        return copy.deepcopy(self)
+
+
+class SafetyJournal:
+    """Simulated write-ahead safety storage."""
+
+    def __init__(self) -> None:
+        self._latest: Optional[SafetySnapshot] = None
+        self.writes = 0
+
+    def write(self, snapshot: SafetySnapshot) -> None:
+        """Persist a snapshot (overwrites; the journal is a single record)."""
+        self._latest = snapshot.clone()
+        self.writes += 1
+
+    def read(self) -> Optional[SafetySnapshot]:
+        """Latest persisted snapshot, or None if never written."""
+        if self._latest is None:
+            return None
+        return self._latest.clone()
+
+    @property
+    def empty(self) -> bool:
+        return self._latest is None

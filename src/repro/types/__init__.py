@@ -1,0 +1,32 @@
+"""Protocol data types: transactions, blocks, certificates, messages."""
+
+from repro.types.blocks import Block, FallbackBlock, genesis_block
+from repro.types.certificates import (
+    CoinQC,
+    EndorsedFallbackQC,
+    FallbackQC,
+    FallbackTC,
+    ParentCert,
+    QC,
+    Rank,
+    TimeoutCertificate,
+    genesis_qc,
+)
+from repro.types.transactions import Batch, Transaction
+
+__all__ = [
+    "Batch",
+    "Block",
+    "CoinQC",
+    "EndorsedFallbackQC",
+    "FallbackBlock",
+    "FallbackQC",
+    "FallbackTC",
+    "ParentCert",
+    "QC",
+    "Rank",
+    "TimeoutCertificate",
+    "Transaction",
+    "genesis_block",
+    "genesis_qc",
+]

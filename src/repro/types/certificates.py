@@ -1,0 +1,248 @@
+"""Certificates: ranks, QCs, fallback QCs/TCs, timeout certs, coin-QCs.
+
+Rank ordering (the heart of the paper's safety argument): certificates and
+blocks are ranked first by view number, then — within the same view — an
+*endorsed* fallback certificate outranks any regular certificate, and ties
+beyond that break by round number.  ``Rank`` encodes this as the tuple
+``(view, endorsed, round)`` with lexicographic comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import Optional, Union
+
+from repro.crypto.hashing import Digest, hash_fields
+from repro.crypto.threshold import ThresholdSignature
+
+#: Modeled wire size of certificate metadata (ids + numbers), in bytes.
+CERT_HEADER_WIRE_SIZE = 48
+COIN_QC_WIRE_SIZE = 96
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Rank:
+    """Total order over certificates/blocks: (view, endorsed, round)."""
+
+    view: int
+    endorsed: bool
+    round: int
+
+    def _key(self) -> tuple[int, int, int]:
+        return (self.view, int(self.endorsed), self.round)
+
+    def __lt__(self, other: "Rank") -> bool:
+        return self._key() < other._key()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Rank):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    @classmethod
+    def zero(cls) -> "Rank":
+        return cls(view=0, endorsed=False, round=0)
+
+
+# ----------------------------------------------------------------------
+# Quorum certificates
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QC:
+    """Quorum certificate for a regular block.
+
+    Threshold signature over ``(block_id, round, view)`` from 2f+1 replicas.
+    """
+
+    block_id: Digest
+    round: int
+    view: int
+    signature: ThresholdSignature
+
+    @property
+    def rank(self) -> Rank:
+        return Rank(view=self.view, endorsed=False, round=self.round)
+
+    def payload(self) -> tuple:
+        """The signed payload (what shares were computed over)."""
+        return ("vote", self.block_id, self.round, self.view)
+
+    def wire_size(self) -> int:
+        return CERT_HEADER_WIRE_SIZE + self.signature.wire_size()
+
+
+@dataclass(frozen=True)
+class FallbackQC:
+    """Quorum certificate for a fallback block (f-QC).
+
+    Threshold signature over ``(block_id, round, view, height, proposer)``.
+    """
+
+    block_id: Digest
+    round: int
+    view: int
+    height: int
+    proposer: int
+    signature: ThresholdSignature
+
+    @property
+    def rank(self) -> Rank:
+        """Rank as an *unendorsed* certificate (fallback-internal use)."""
+        return Rank(view=self.view, endorsed=False, round=self.round)
+
+    def payload(self) -> tuple:
+        return (
+            "fvote",
+            self.block_id,
+            self.round,
+            self.view,
+            self.height,
+            self.proposer,
+        )
+
+    def wire_size(self) -> int:
+        return CERT_HEADER_WIRE_SIZE + 16 + self.signature.wire_size()
+
+
+@dataclass(frozen=True)
+class CoinQC:
+    """Leader-election certificate: f+1 coin shares revealed view's leader.
+
+    ``proof_tag`` is the coin's unforgeable evidence (see
+    :meth:`repro.crypto.coin.CommonCoin.verify_leader`).
+    """
+
+    view: int
+    leader: int
+    proof_tag: Digest
+
+    def wire_size(self) -> int:
+        return COIN_QC_WIRE_SIZE
+
+
+@dataclass(frozen=True)
+class EndorsedFallbackQC:
+    """An f-QC by the view's elected leader, plus the electing coin-QC.
+
+    Endorsed f-QCs are "handled as a QC in any steps of the protocol" and
+    outrank every regular QC of the same view.
+    """
+
+    fqc: FallbackQC
+    coin_qc: CoinQC
+
+    def __post_init__(self) -> None:
+        if self.fqc.view != self.coin_qc.view:
+            raise ValueError(
+                f"endorsement view mismatch: f-QC view {self.fqc.view} "
+                f"vs coin-QC view {self.coin_qc.view}"
+            )
+        if self.fqc.proposer != self.coin_qc.leader:
+            raise ValueError(
+                f"f-QC proposer {self.fqc.proposer} is not the elected "
+                f"leader {self.coin_qc.leader}"
+            )
+
+    @property
+    def block_id(self) -> Digest:
+        return self.fqc.block_id
+
+    @property
+    def round(self) -> int:
+        return self.fqc.round
+
+    @property
+    def view(self) -> int:
+        return self.fqc.view
+
+    @property
+    def rank(self) -> Rank:
+        return Rank(view=self.fqc.view, endorsed=True, round=self.fqc.round)
+
+    def wire_size(self) -> int:
+        return self.fqc.wire_size() + self.coin_qc.wire_size()
+
+
+#: What a block may embed as its parent certificate / what qc_high holds.
+ParentCert = Union[QC, EndorsedFallbackQC]
+
+
+def max_cert(a: ParentCert, b: ParentCert) -> ParentCert:
+    """The paper's ``max(qc1, qc2)``: the higher-ranked certificate."""
+    return b if b.rank > a.rank else a
+
+
+# ----------------------------------------------------------------------
+# Timeout certificates
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TimeoutCertificate:
+    """Round-timeout certificate (baseline DiemBFT pacemaker)."""
+
+    round: int
+    signature: ThresholdSignature
+
+    def payload(self) -> tuple:
+        return ("timeout", self.round)
+
+    def wire_size(self) -> int:
+        return CERT_HEADER_WIRE_SIZE + self.signature.wire_size()
+
+
+@dataclass(frozen=True)
+class FallbackTC:
+    """View-timeout certificate (f-TC): 2f+1 shares over a view number."""
+
+    view: int
+    signature: ThresholdSignature
+
+    def payload(self) -> tuple:
+        return ("ftimeout", self.view)
+
+    def wire_size(self) -> int:
+        return CERT_HEADER_WIRE_SIZE + self.signature.wire_size()
+
+
+# ----------------------------------------------------------------------
+# Genesis
+# ----------------------------------------------------------------------
+GENESIS_TAG: Digest = hash_fields("genesis-signature")
+
+
+def genesis_qc(genesis_block_id: Digest) -> QC:
+    """The axiomatic QC for the genesis block (round 0, view 0).
+
+    Validators special-case ``round == 0``; the embedded signature is a
+    placeholder with an empty signer set.
+    """
+    return QC(
+        block_id=genesis_block_id,
+        round=0,
+        view=0,
+        signature=ThresholdSignature(epoch=0, tag=GENESIS_TAG, signers=frozenset()),
+    )
+
+
+def is_genesis_qc(qc: ParentCert) -> bool:
+    return (
+        isinstance(qc, QC)
+        and qc.round == 0
+        and qc.view == 0
+        and qc.signature.tag == GENESIS_TAG
+    )
+
+
+def cert_kind(cert: Optional[ParentCert]) -> str:
+    """Readable certificate kind, for traces and error messages."""
+    if cert is None:
+        return "none"
+    if isinstance(cert, EndorsedFallbackQC):
+        return "endorsed-fqc"
+    if isinstance(cert, QC):
+        return "genesis-qc" if is_genesis_qc(cert) else "qc"
+    return type(cert).__name__

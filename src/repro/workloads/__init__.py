@@ -1,0 +1,12 @@
+"""Deterministic client workload generators."""
+
+from repro.workloads.bursty import BurstyWorkload, SkewedKeyWorkload
+from repro.workloads.generator import ClosedLoopWorkload, OpenLoopWorkload, Workload
+
+__all__ = [
+    "BurstyWorkload",
+    "ClosedLoopWorkload",
+    "OpenLoopWorkload",
+    "SkewedKeyWorkload",
+    "Workload",
+]

@@ -1,0 +1,84 @@
+"""Bursty and skewed workloads.
+
+Real client traffic is rarely a smooth open loop: it arrives in bursts
+(batch jobs, market opens) and with skewed key popularity.  These workloads
+stress batching and commit-latency tails.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.mempool.mempool import Mempool
+from repro.sim.scheduler import Scheduler
+from repro.workloads.generator import PayloadFn, Workload
+
+
+class BurstyWorkload(Workload):
+    """Injects ``burst_size`` transactions every ``period`` seconds."""
+
+    def __init__(
+        self,
+        mempools: Sequence[Mempool],
+        burst_size: int = 50,
+        period: float = 10.0,
+        bursts: int = 20,
+        client: int = 0,
+        payload_size: int = 100,
+        payload_fn: Optional[PayloadFn] = None,
+    ) -> None:
+        super().__init__(
+            mempools, count=0, client=client,
+            payload_size=payload_size, payload_fn=payload_fn,
+        )
+        if burst_size < 1 or period <= 0 or bursts < 1:
+            raise ValueError("burst_size/period/bursts must be positive")
+        self.burst_size = burst_size
+        self.period = period
+        self.bursts = bursts
+        self._bursts_done = 0
+        self._next_index = 0
+
+    def start(self, scheduler: Scheduler) -> None:
+        self._burst(scheduler)
+
+    def _burst(self, scheduler: Scheduler) -> None:
+        if self._bursts_done >= self.bursts:
+            return
+        self._bursts_done += 1
+        for _ in range(self.burst_size):
+            self._inject(self._next_index, scheduler.now)
+            self._next_index += 1
+        scheduler.call_after(self.period, lambda: self._burst(scheduler),
+                             label="bursty-workload")
+
+
+class SkewedKeyWorkload(Workload):
+    """KV ``set`` commands with Zipf-like key popularity.
+
+    A handful of keys receive most writes (popularity ~ 1/rank), which makes
+    the example KV state machines show realistic hot-key churn.
+    """
+
+    def __init__(
+        self,
+        mempools: Sequence[Mempool],
+        count: int = 1000,
+        keys: int = 64,
+        client: int = 0,
+        payload_size: int = 100,
+        seed: int = 0,
+    ) -> None:
+        import random
+
+        rng = random.Random(("skewed-workload", seed).__repr__())
+        weights = [1.0 / rank for rank in range(1, keys + 1)]
+
+        def payload(client_id: int, index: int) -> str:
+            key = rng.choices(range(keys), weights=weights, k=1)[0]
+            return f"set key-{key} value-{client_id}-{index}"
+
+        super().__init__(
+            mempools, count=count, client=client,
+            payload_size=payload_size, payload_fn=payload,
+        )

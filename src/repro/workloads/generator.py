@@ -1,0 +1,132 @@
+"""Workload generators: deterministic streams of client transactions.
+
+Workloads run as simulated processes that periodically inject transactions
+into every replica's mempool (clients broadcast submissions, the usual BFT
+SMR client model).  All randomness comes from the scheduler's child RNGs, so
+workloads are reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.mempool.mempool import Mempool
+from repro.sim.scheduler import Scheduler
+from repro.types.transactions import Transaction, make_transaction
+
+#: Builds the payload string for transaction ``index`` of a client.
+PayloadFn = Callable[[int, int], str]
+
+
+def _default_payload(client: int, index: int) -> str:
+    return f"set key-{index % 64} value-{client}-{index}"
+
+
+class Workload:
+    """Base: preloads a fixed number of transactions at start."""
+
+    def __init__(
+        self,
+        mempools: Sequence[Mempool],
+        count: int = 1000,
+        client: int = 0,
+        payload_size: int = 100,
+        payload_fn: Optional[PayloadFn] = None,
+    ) -> None:
+        self.mempools = list(mempools)
+        self.count = count
+        self.client = client
+        self.payload_size = payload_size
+        self.payload_fn = payload_fn or _default_payload
+        self.submitted: list[Transaction] = []
+
+    def start(self, scheduler: Scheduler) -> None:
+        """Inject everything at time zero (a deep backlog)."""
+        for index in range(self.count):
+            self._inject(index, scheduler.now)
+
+    def _inject(self, index: int, now: float) -> Transaction:
+        transaction = make_transaction(
+            index,
+            client=self.client,
+            payload=self.payload_fn(self.client, index),
+            payload_size=self.payload_size,
+            submitted_at=now,
+        )
+        self.submitted.append(transaction)
+        for mempool in self.mempools:
+            mempool.submit(transaction)
+        return transaction
+
+
+class OpenLoopWorkload(Workload):
+    """Injects transactions at a fixed rate for the whole run."""
+
+    def __init__(
+        self,
+        mempools: Sequence[Mempool],
+        rate: float = 100.0,
+        client: int = 0,
+        payload_size: int = 100,
+        payload_fn: Optional[PayloadFn] = None,
+        max_count: int = 1_000_000,
+    ) -> None:
+        super().__init__(
+            mempools,
+            count=0,
+            client=client,
+            payload_size=payload_size,
+            payload_fn=payload_fn,
+        )
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+        self.max_count = max_count
+        self._next_index = 0
+
+    def start(self, scheduler: Scheduler) -> None:
+        self._tick(scheduler)
+
+    def _tick(self, scheduler: Scheduler) -> None:
+        if self._next_index >= self.max_count:
+            return
+        self._inject(self._next_index, scheduler.now)
+        self._next_index += 1
+        scheduler.call_after(1.0 / self.rate, lambda: self._tick(scheduler), label="workload")
+
+
+class ClosedLoopWorkload(Workload):
+    """Keeps a fixed number of transactions outstanding.
+
+    ``notify_committed`` must be wired to the cluster's commit hook; each
+    commit of one of our transactions triggers a replacement submission.
+    """
+
+    def __init__(
+        self,
+        mempools: Sequence[Mempool],
+        outstanding: int = 100,
+        client: int = 0,
+        payload_size: int = 100,
+        payload_fn: Optional[PayloadFn] = None,
+    ) -> None:
+        super().__init__(
+            mempools,
+            count=outstanding,
+            client=client,
+            payload_size=payload_size,
+            payload_fn=payload_fn,
+        )
+        self.outstanding = outstanding
+        self._scheduler: Optional[Scheduler] = None
+        self._next_index = outstanding
+
+    def start(self, scheduler: Scheduler) -> None:
+        self._scheduler = scheduler
+        super().start(scheduler)
+
+    def notify_committed(self, transaction: Transaction) -> None:
+        if self._scheduler is None or transaction.client != self.client:
+            return
+        self._inject(self._next_index, self._scheduler.now)
+        self._next_index += 1

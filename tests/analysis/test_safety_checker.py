@@ -1,0 +1,89 @@
+"""Tests for the global safety checker (it must catch real violations)."""
+
+from repro.analysis.safety import (
+    check_cluster_safety,
+    divergence_point,
+    assert_cluster_safety,
+)
+from repro.core.config import ProtocolConfig
+from repro.core.context import SharedSetup
+from repro.core.replica import Replica
+from repro.net.network import Network
+from repro.sim.scheduler import Scheduler
+from repro.types.blocks import Block
+from repro.types.certificates import genesis_qc
+
+from tests.core.conftest import build_certified_chain
+
+import pytest
+
+
+@pytest.fixture
+def replicas():
+    config = ProtocolConfig(n=4)
+    scheduler = Scheduler(seed=1)
+    network = Network(scheduler)
+    setup = SharedSetup.deal(config)
+    built = []
+    for replica_id in range(2):
+        replica = Replica(
+            replica_id, config, setup.context_for(replica_id), network, scheduler
+        )
+        network.register(replica)
+        built.append(replica)
+    return setup, built
+
+
+def test_clean_replicas_pass(replicas):
+    setup, (a, b) = replicas
+    blocks, _ = build_certified_chain(setup, a.store, 3)
+    for block in blocks:
+        b.store.add(block)
+    a.ledger.commit_through(blocks[2], now=1.0)
+    b.ledger.commit_through(blocks[1], now=1.0)  # shorter prefix is fine
+    assert check_cluster_safety([a, b]) == []
+    assert_cluster_safety([a, b])
+    assert divergence_point(a, b) is None
+
+
+def test_detects_prefix_divergence(replicas):
+    setup, (a, b) = replicas
+    blocks_a, _ = build_certified_chain(setup, a.store, 1)
+    fork = Block(qc=genesis_qc(b.store.genesis.id), round=1, view=0, author=1)
+    b.store.add(fork)
+    a.ledger.commit_through(blocks_a[0], now=1.0)
+    b.ledger.commit_through(fork, now=1.0)
+    violations = check_cluster_safety([a, b])
+    assert any(v.kind == "prefix-divergence" for v in violations)
+    assert divergence_point(a, b) == 0
+    with pytest.raises(AssertionError):
+        assert_cluster_safety([a, b])
+
+
+def test_detects_duplicate_round(replicas):
+    setup, (a, b) = replicas
+    blocks_a, _ = build_certified_chain(setup, a.store, 1)
+    # Same (view, round) but different content on the other replica.
+    twin = Block(qc=genesis_qc(b.store.genesis.id), round=1, view=0, author=2)
+    b.store.add(twin)
+    a.ledger.commit_through(blocks_a[0], now=1.0)
+    b.ledger.commit_through(twin, now=1.0)
+    violations = check_cluster_safety([a, b])
+    kinds = {v.kind for v in violations}
+    assert "duplicate-round" in kinds
+
+
+def test_detects_round_gap(replicas):
+    setup, (a, _) = replicas
+    gap_block = Block(qc=genesis_qc(a.store.genesis.id), round=5, view=0, author=0)
+    a.store.add(gap_block)
+    a.ledger.commit_through(gap_block, now=1.0)
+    violations = check_cluster_safety([a])
+    assert any(v.kind == "non-consecutive-rounds" for v in violations)
+
+
+def test_violation_str():
+    from repro.analysis.safety import SafetyViolation
+
+    violation = SafetyViolation(kind="x", detail="y")
+    assert str(violation) == "x: y"

@@ -1,0 +1,84 @@
+"""Tests for the statistics helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import Estimate, mean_ci, proportion_ci
+
+
+def test_mean_ci_basic():
+    estimate = mean_ci([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert estimate.mean == 3.0
+    assert estimate.low < 3.0 < estimate.high
+    assert estimate.samples == 5
+    assert estimate.contains(3.0)
+
+
+def test_mean_ci_single_sample_degenerates():
+    estimate = mean_ci([7.0])
+    assert estimate.mean == estimate.low == estimate.high == 7.0
+
+
+def test_mean_ci_zero_variance():
+    estimate = mean_ci([2.0, 2.0, 2.0])
+    assert estimate.low == estimate.high == 2.0
+
+
+def test_mean_ci_width_shrinks_with_samples():
+    narrow = mean_ci([1.0, 2.0] * 50)
+    wide = mean_ci([1.0, 2.0] * 2)
+    assert (narrow.high - narrow.low) < (wide.high - wide.low)
+
+
+def test_mean_ci_requires_samples():
+    with pytest.raises(ValueError):
+        mean_ci([])
+
+
+def test_proportion_ci_two_thirds():
+    estimate = proportion_ci(32, 48)
+    assert estimate.mean == pytest.approx(2 / 3)
+    assert 0 < estimate.low < 2 / 3 < estimate.high < 1
+
+
+def test_proportion_ci_extremes_stay_in_unit_interval():
+    # Wilson at the extremes: the bound away from the extreme is nontrivial
+    # (its defining advantage over the naive [1, 1] interval).
+    all_success = proportion_ci(10, 10)
+    assert all_success.high == 1.0
+    assert 0.5 < all_success.low < 1.0
+    none = proportion_ci(0, 10)
+    assert none.low == 0.0
+    assert none.high < 0.5
+
+
+def test_proportion_ci_validation():
+    with pytest.raises(ValueError):
+        proportion_ci(1, 0)
+    with pytest.raises(ValueError):
+        proportion_ci(5, 4)
+
+
+def test_str_rendering():
+    text = str(mean_ci([1.0, 2.0, 3.0]))
+    assert "n=3" in text
+    assert "95%" in text
+
+
+@given(
+    successes=st.integers(0, 50),
+    extra=st.integers(0, 50),
+)
+def test_property_wilson_interval_is_sane(successes, extra):
+    trials = successes + extra
+    if trials == 0:
+        return
+    estimate = proportion_ci(successes, trials)
+    assert 0.0 <= estimate.low <= estimate.high <= 1.0
+    assert estimate.low <= estimate.mean <= estimate.high
+
+
+@given(values=st.lists(st.floats(-100, 100), min_size=2, max_size=30))
+def test_property_mean_inside_its_interval(values):
+    estimate = mean_ci(values)
+    assert estimate.low <= estimate.mean <= estimate.high

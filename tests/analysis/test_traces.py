@@ -1,0 +1,86 @@
+"""Tests for run timelines."""
+
+from repro.analysis.traces import Timeline, TraceEvent
+from repro.experiments.scenarios import build_cluster, leader_attack_factory
+from repro.runtime.cluster import ClusterBuilder
+
+
+def make_attacked_cluster():
+    cluster = build_cluster(
+        "fallback-3chain", 4, seed=5, delay_factory=leader_attack_factory()
+    )
+    cluster.run_until_commits(4, until=30_000)
+    cluster.run(until=cluster.scheduler.now + 120)
+    return cluster
+
+
+def test_timeline_collects_all_event_kinds():
+    cluster = make_attacked_cluster()
+    timeline = Timeline.from_cluster(cluster)
+    kinds = {event.kind for event in timeline.events}
+    assert {"round", "timeout", "fallback-enter", "fallback-exit", "commit"} <= kinds
+
+
+def test_timeline_is_time_ordered():
+    cluster = make_attacked_cluster()
+    timeline = Timeline.from_cluster(cluster)
+    times = [event.time for event in timeline.events]
+    assert times == sorted(times)
+
+
+def test_filter_by_kind_and_replica():
+    cluster = make_attacked_cluster()
+    timeline = Timeline.from_cluster(cluster)
+    commits = timeline.filter(kinds=["commit"])
+    assert commits.events
+    assert all(event.kind == "commit" for event in commits.events)
+    mine = timeline.filter(replica=0)
+    assert all(event.replica == 0 for event in mine.events)
+    windowed = timeline.filter(start=10.0, end=20.0)
+    assert all(10.0 <= event.time <= 20.0 for event in windowed.events)
+
+
+def test_first():
+    cluster = make_attacked_cluster()
+    timeline = Timeline.from_cluster(cluster)
+    first_commit = timeline.first("commit")
+    assert first_commit is not None
+    assert first_commit.time == min(
+        event.time for event in timeline.events if event.kind == "commit"
+    )
+    assert timeline.first("nonexistent") is None
+
+
+def test_fallback_spans_pair_enter_and_exit():
+    cluster = make_attacked_cluster()
+    timeline = Timeline.from_cluster(cluster)
+    spans = timeline.fallback_spans()
+    assert spans
+    closed = [span for span in spans if span[3] is not None]
+    assert closed, "no fallback completed"
+    for replica, view, start, end in closed:
+        assert end > start
+        assert view >= 0
+
+
+def test_render_is_readable():
+    cluster = make_attacked_cluster()
+    timeline = Timeline.from_cluster(cluster)
+    text = timeline.render(limit=5)
+    assert text.count("\n") == 4
+    assert "t=" in text
+
+
+def test_sync_run_has_no_fallback_events():
+    cluster = ClusterBuilder(n=4, seed=1).build()
+    cluster.run_until_commits(10, until=5_000)
+    timeline = Timeline.from_cluster(cluster)
+    assert not timeline.filter(kinds=["fallback-enter"]).events
+    assert len(timeline.filter(kinds=["commit"]).events) > 0
+    assert timeline.fallback_spans() == []
+
+
+def test_trace_event_render():
+    event = TraceEvent(time=1.5, kind="commit", replica=2, detail="block #0")
+    assert "r2" in event.render()
+    assert "commit" in event.render()

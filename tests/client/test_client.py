@@ -1,0 +1,114 @@
+"""Integration tests for the BFT client layer."""
+
+import pytest
+
+from repro.analysis.safety import assert_cluster_safety
+from repro.client.client import Client, ClientReply
+from repro.core.config import ProtocolConfig
+from repro.core.replica import Replica
+from repro.experiments.scenarios import leader_attack_factory
+from repro.faults import SilentReplica, byzantine
+from repro.runtime.cluster import ClusterBuilder
+
+
+def build_with_clients(n=4, seed=71, clients=2, byz=None, delay_factory=None, **ckw):
+    builder = (
+        ClusterBuilder(n=n, seed=seed)
+        .with_preload(0)  # clients generate the load
+        .with_clients(clients, **ckw)
+    )
+    if byz is not None:
+        builder.with_byzantine(*byz)
+    if delay_factory is not None:
+        builder.with_delay_model_factory(delay_factory)
+    return builder.build()
+
+
+def test_clients_get_confirmations():
+    cluster = build_with_clients(outstanding=5)
+    cluster.run(
+        until=5_000, stop_when=lambda: cluster.total_confirmations() >= 30
+    )
+    assert cluster.total_confirmations() >= 30
+    for client in cluster.clients:
+        for confirmation in client.confirmations:
+            assert len(confirmation.repliers) >= cluster.config.f + 1
+            assert confirmation.latency > 0
+    assert_cluster_safety(cluster.honest_replicas())
+
+
+def test_confirmed_positions_match_the_ledger():
+    cluster = build_with_clients()
+    cluster.run(until=5_000, stop_when=lambda: cluster.total_confirmations() >= 10)
+    replica = cluster.honest_replicas()[0]
+    cluster.run(until=cluster.scheduler.now + 30)  # let the replica catch up
+    for client in cluster.clients:
+        for confirmation in client.confirmations:
+            record = replica.ledger.record_at(confirmation.position)
+            assert record is not None
+            assert record.block.id == confirmation.block_id
+
+
+def test_closed_loop_keeps_outstanding_bounded():
+    cluster = build_with_clients(clients=1, outstanding=3)
+    cluster.run(until=2_000, stop_when=lambda: cluster.total_confirmations() >= 10)
+    client = cluster.clients[0]
+    assert len(client.pending) <= 3
+
+
+def test_total_limit_stops_submission():
+    cluster = build_with_clients(clients=1, outstanding=2, total=6)
+    cluster.run(until=5_000, stop_when=lambda: cluster.total_confirmations() >= 6)
+    cluster.run(until=cluster.scheduler.now + 100)
+    assert len(cluster.clients[0].confirmations) == 6
+
+
+def test_confirmation_needs_f_plus_one_matching_replies():
+    """A single lying replica cannot convince the client of a fake commit."""
+    cluster = build_with_clients(clients=1, outstanding=1, total=3)
+    client = cluster.clients[0]
+    cluster.start()
+    # A forged reply from replica 3 about a nonexistent commit.
+    [tx_id] = list(client.pending)
+    client.deliver(3, ClientReply(tx_id=tx_id, position=99, block_id="fake", replica=3))
+    assert client.confirmations == []  # one reply is never enough
+    # Mismatched sender/replica fields are dropped entirely.
+    client.deliver(2, ClientReply(tx_id=tx_id, position=99, block_id="fake", replica=3))
+    assert client.pending[tx_id].replies == {3: (99, "fake")}
+
+
+def test_client_works_with_a_silent_replica():
+    cluster = build_with_clients(byz=(1, byzantine(SilentReplica)))
+    cluster.run(until=10_000, stop_when=lambda: cluster.total_confirmations() >= 10)
+    assert cluster.total_confirmations() >= 10
+
+
+def test_retransmission_after_committed_reply_is_answered_directly():
+    cluster = build_with_clients(clients=1, outstanding=2, retransmit_interval=5.0)
+    cluster.run(until=3_000, stop_when=lambda: cluster.total_confirmations() >= 5)
+    replica = cluster.honest_replicas()[0]
+    confirmed = cluster.clients[0].confirmations[0]
+    # Simulate a late retransmission of an already-committed transaction.
+    from repro.client.client import ClientRequest
+    from repro.types.transactions import Transaction
+
+    tx = Transaction(tx_id=confirmed.tx_id, client=cluster.clients[0].process_id)
+    before = cluster.network.messages_sent
+    replica.deliver(cluster.clients[0].process_id, ClientRequest(tx))
+    assert cluster.network.messages_sent == before + 1  # immediate reply
+
+
+def test_client_survives_async_attack():
+    cluster = build_with_clients(
+        clients=1, outstanding=3, retransmit_interval=40.0,
+        delay_factory=leader_attack_factory(),
+    )
+    cluster.run(until=60_000, stop_when=lambda: cluster.total_confirmations() >= 5)
+    assert cluster.total_confirmations() >= 5
+    assert_cluster_safety(cluster.honest_replicas())
+
+
+def test_clients_not_in_multicast_group():
+    cluster = build_with_clients(clients=1)
+    assert cluster.network.process_ids() == [0, 1, 2, 3]
+    assert cluster.network.all_process_ids() == [0, 1, 2, 3, 4]

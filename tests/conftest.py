@@ -1,0 +1,21 @@
+"""Repository-wide fixtures: shared dealer setup for protocol tests."""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.context import SharedSetup
+
+
+@pytest.fixture
+def config():
+    return ProtocolConfig(n=4)
+
+
+@pytest.fixture
+def setup(config):
+    return SharedSetup.deal(config, coin_seed=42)
+
+
+@pytest.fixture
+def contexts(setup):
+    return [setup.context_for(i) for i in range(setup.config.n)]

@@ -1,0 +1,87 @@
+"""Shared helpers for core-protocol tests.
+
+The ``config`` / ``setup`` / ``contexts`` fixtures live in the repository
+root conftest; this module holds the block/certificate builders.
+"""
+
+from repro.types.blocks import Block, FallbackBlock
+from repro.types.certificates import FallbackQC, QC, genesis_qc
+
+
+def make_real_qc(setup, block, signers=None):
+    """A properly signed QC for a block, using the shared setup."""
+    payload = ("vote", block.id, block.round, block.view)
+    signers = signers if signers is not None else range(setup.config.quorum_size)
+    shares = [
+        setup.quorum_scheme.sign_share(setup.registry.key_pair(i), payload)
+        for i in signers
+    ]
+    return QC(
+        block_id=block.id,
+        round=block.round,
+        view=block.view,
+        signature=setup.quorum_scheme.combine(shares, payload),
+    )
+
+
+def make_real_fqc(setup, fblock, signers=None):
+    payload = (
+        "fvote",
+        fblock.id,
+        fblock.round,
+        fblock.view,
+        fblock.height,
+        fblock.proposer,
+    )
+    signers = signers if signers is not None else range(setup.config.quorum_size)
+    shares = [
+        setup.quorum_scheme.sign_share(setup.registry.key_pair(i), payload)
+        for i in signers
+    ]
+    return FallbackQC(
+        block_id=fblock.id,
+        round=fblock.round,
+        view=fblock.view,
+        height=fblock.height,
+        proposer=fblock.proposer,
+        signature=setup.quorum_scheme.combine(shares, payload),
+    )
+
+
+def build_certified_chain(setup, store, length, view=0, start_round=1):
+    """Linear certified chain on genesis; returns (blocks, qcs)."""
+    blocks, qcs = [], []
+    parent_qc = genesis_qc(store.genesis.id)
+    for offset in range(length):
+        block = Block(
+            qc=parent_qc, round=start_round + offset, view=view, author=0
+        )
+        store.add(block)
+        qc = make_real_qc(setup, block)
+        blocks.append(block)
+        qcs.append(qc)
+        parent_qc = qc
+    return blocks, qcs
+
+
+def build_fallback_chain(setup, store, view, proposer, base_qc, heights=3):
+    """A fallback chain of f-blocks extending ``base_qc``; returns
+    (fblocks, fqcs)."""
+    fblocks, fqcs = [], []
+    parent = base_qc
+    round_number = base_qc.round
+    for height in range(1, heights + 1):
+        round_number += 1
+        fblock = FallbackBlock(
+            qc=parent,
+            round=round_number,
+            view=view,
+            height=height,
+            proposer=proposer,
+        )
+        store.add(fblock)
+        fqc = make_real_fqc(setup, fblock)
+        fblocks.append(fblock)
+        fqcs.append(fqc)
+        parent = fqc
+    return fblocks, fqcs

@@ -1,0 +1,152 @@
+"""Tests for the commit rules (3-chain and 2-chain, mixed chains)."""
+
+from repro.core.commit import cert_counts_for_commit, find_commit_target, parent_rank_of
+from repro.ledger.blockstore import BlockStore
+from repro.types.blocks import Block, FallbackBlock
+from repro.types.certificates import CoinQC, Rank, genesis_qc
+
+from tests.core.conftest import (
+    build_certified_chain,
+    build_fallback_chain,
+    make_real_fqc,
+    make_real_qc,
+)
+
+
+def test_three_chain_commits_head(setup):
+    store = BlockStore()
+    blocks, qcs = build_certified_chain(setup, store, 3)
+    target = find_commit_target(store, qcs[2], {}, depth=3)
+    assert target is blocks[0]
+
+
+def test_two_chain_rule(setup):
+    store = BlockStore()
+    blocks, qcs = build_certified_chain(setup, store, 2)
+    assert find_commit_target(store, qcs[1], {}, depth=2) is blocks[0]
+    # The 3-chain rule does not fire on a 2-chain above genesis... it walks
+    # to genesis which breaks the consecutive-round requirement only if
+    # rounds differ; genesis is round 0 and blocks start at 1, so rounds
+    # 0,1,2 ARE consecutive and genesis commits (a no-op commit).
+    target = find_commit_target(store, qcs[1], {}, depth=3)
+    assert target is store.genesis
+
+
+def test_round_gap_blocks_commit(setup):
+    store = BlockStore()
+    blocks, qcs = build_certified_chain(setup, store, 2)
+    # A block skipping a round (possible only in the DiemBFT baseline).
+    gap_block = Block(qc=qcs[1], round=5, view=0, author=0)
+    store.add(gap_block)
+    gap_qc = make_real_qc(setup, gap_block)
+    assert find_commit_target(store, gap_qc, {}, depth=3) is None
+
+
+def test_view_mismatch_blocks_commit(setup):
+    store = BlockStore()
+    blocks, qcs = build_certified_chain(setup, store, 2)
+    next_view = Block(qc=qcs[1], round=3, view=1, author=0)
+    store.add(next_view)
+    qc = make_real_qc(setup, next_view)
+    # Rounds 1,2,3 consecutive but views 0,0,1 differ -> no commit.
+    assert find_commit_target(store, qc, {}, depth=3) is None
+
+
+def test_missing_block_defers_commit(setup):
+    store = BlockStore()
+    blocks, qcs = build_certified_chain(setup, store, 3)
+    sparse = BlockStore()
+    sparse.add(blocks[0])
+    sparse.add(blocks[2])  # middle block missing
+    assert find_commit_target(sparse, qcs[2], {}, depth=3) is None
+    sparse.add(blocks[1])
+    assert find_commit_target(sparse, qcs[2], {}, depth=3) is blocks[0]
+
+
+def test_endorsed_fallback_chain_commits(setup):
+    store = BlockStore()
+    view = 0
+    leader = setup.coin._value(view)
+    base = genesis_qc(store.genesis.id)
+    fblocks, fqcs = build_fallback_chain(setup, store, view, leader, base, heights=3)
+    coin_qcs = {view: CoinQC(view=view, leader=leader,
+                             proof_tag=setup.coin.leader_proof_tag(view))}
+    target = find_commit_target(store, fqcs[2], coin_qcs, depth=3)
+    assert target is fblocks[0]
+
+
+def test_unendorsed_fallback_chain_does_not_commit(setup):
+    store = BlockStore()
+    view = 0
+    loser = (setup.coin._value(view) + 1) % setup.config.n
+    base = genesis_qc(store.genesis.id)
+    _, fqcs = build_fallback_chain(setup, store, view, loser, base, heights=3)
+    coin_qcs = {view: CoinQC(view=view, leader=setup.coin._value(view),
+                             proof_tag=setup.coin.leader_proof_tag(view))}
+    assert find_commit_target(store, fqcs[2], coin_qcs, depth=3) is None
+    # Without any coin at all, same story.
+    assert find_commit_target(store, fqcs[2], {}, depth=3) is None
+
+
+def test_mixed_chain_regular_after_endorsed(setup):
+    """Steady-state blocks extending an endorsed f-chain commit together
+    once the new view assembles its own chain (same-view requirement)."""
+    store = BlockStore()
+    view = 0
+    leader = setup.coin._value(view)
+    base = genesis_qc(store.genesis.id)
+    fblocks, fqcs = build_fallback_chain(setup, store, view, leader, base, heights=3)
+    coin_qc = CoinQC(view=view, leader=leader,
+                     proof_tag=setup.coin.leader_proof_tag(view))
+    coin_qcs = {view: coin_qc}
+    from repro.types.certificates import EndorsedFallbackQC
+
+    endorsed_top = EndorsedFallbackQC(fqc=fqcs[2], coin_qc=coin_qc)
+    # New view: three regular blocks extending the endorsed chain.
+    parent = endorsed_top
+    new_blocks = []
+    for offset in range(3):
+        block = Block(qc=parent, round=fblocks[2].round + 1 + offset, view=1, author=1)
+        store.add(block)
+        qc = make_real_qc(setup, block)
+        new_blocks.append((block, qc))
+        parent = qc
+    target = find_commit_target(store, new_blocks[2][1], coin_qcs, depth=3)
+    assert target is new_blocks[0][0]
+    # The chain across the view boundary does NOT commit (views differ).
+    assert find_commit_target(store, new_blocks[1][1], coin_qcs, depth=3) is None
+
+
+def test_cert_counts_for_commit(setup):
+    store = BlockStore()
+    base = genesis_qc(store.genesis.id)
+    assert cert_counts_for_commit(base, {})
+    view, proposer = 0, 1
+    fblock = FallbackBlock(qc=base, round=1, view=view, height=1, proposer=proposer)
+    store.add(fblock)
+    fqc = make_real_fqc(setup, fblock)
+    assert not cert_counts_for_commit(fqc, {})
+    assert cert_counts_for_commit(
+        fqc, {view: CoinQC(view=view, leader=proposer, proof_tag="t")}
+    )
+    assert not cert_counts_for_commit(
+        fqc, {view: CoinQC(view=view, leader=proposer + 1, proof_tag="t")}
+    )
+
+
+def test_parent_rank_of(setup):
+    store = BlockStore()
+    blocks, qcs = build_certified_chain(setup, store, 2)
+    assert parent_rank_of(store.genesis, {}) is None
+    assert parent_rank_of(blocks[0], {}) == Rank(0, False, 0)
+    assert parent_rank_of(blocks[1], {}) == Rank(0, False, 1)
+
+
+def test_depth_validation(setup):
+    store = BlockStore()
+    base = genesis_qc(store.genesis.id)
+    try:
+        find_commit_target(store, base, {}, depth=0)
+        assert False
+    except ValueError:
+        pass

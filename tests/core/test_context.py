@@ -1,0 +1,61 @@
+"""Tests for the shared crypto setup / per-replica contexts."""
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.context import SharedSetup
+from repro.crypto.signatures import SignatureError
+
+
+@pytest.fixture
+def setup():
+    return SharedSetup.deal(ProtocolConfig(n=7), coin_seed=5)
+
+
+def test_deal_thresholds(setup):
+    assert setup.quorum_scheme.threshold == 5  # 2f+1 with f=2
+    assert setup.coin.threshold == 3  # f+1
+    assert setup.registry.n == 7
+
+
+def test_context_binding(setup):
+    context = setup.context_for(3)
+    assert context.replica == 3
+    assert context.scheme is setup.quorum_scheme
+    assert context.coin is setup.coin
+
+
+def test_share_and_combine_through_context(setup):
+    payload = ("vote", "id", 1, 0)
+    shares = [setup.context_for(i).share(payload) for i in range(5)]
+    combined = setup.context_for(0).combine(shares, payload)
+    assert setup.context_for(6).verify_combined(combined, payload)
+    assert setup.context_for(6).verify_share(shares[0], payload)
+    assert not setup.context_for(6).verify_share(shares[0], ("other",))
+
+
+def test_coin_through_context(setup):
+    shares = [setup.context_for(i).coin_share(4) for i in range(3)]
+    coin_qc = setup.context_for(0).reveal_coin(shares, 4)
+    assert 0 <= coin_qc.leader < 7
+    assert setup.context_for(1).verify_coin_qc(coin_qc)
+    for share in shares:
+        assert setup.context_for(5).verify_coin_share(share)
+
+
+def test_coin_reveal_needs_enough_shares(setup):
+    shares = [setup.context_for(i).coin_share(4) for i in range(2)]
+    with pytest.raises(SignatureError):
+        setup.context_for(0).reveal_coin(shares, 4)
+
+
+def test_same_seed_same_coin_schedule():
+    config = ProtocolConfig(n=4)
+    a = SharedSetup.deal(config, coin_seed=9)
+    b = SharedSetup.deal(config, coin_seed=9)
+    shares_a = [a.context_for(i).coin_share(0) for i in range(2)]
+    shares_b = [b.context_for(i).coin_share(0) for i in range(2)]
+    assert (
+        a.context_for(0).reveal_coin(shares_a, 0).leader
+        == b.context_for(0).reveal_coin(shares_b, 0).leader
+    )

@@ -1,0 +1,55 @@
+"""Tests for fallback-state garbage collection across views."""
+
+from repro.experiments.scenarios import build_cluster, leader_attack_factory
+
+
+def long_attack_run(seed=63, min_views=5):
+    cluster = build_cluster(
+        "fallback-3chain", 4, seed=seed, delay_factory=leader_attack_factory()
+    )
+    cluster.run(
+        until=200_000,
+        stop_when=lambda: max(r.v_cur for r in cluster.honest_replicas()) >= min_views,
+    )
+    return cluster
+
+
+def test_old_view_state_is_pruned():
+    cluster = long_attack_run()
+    for replica in cluster.honest_replicas():
+        engine = replica.fallback
+        horizon = replica.v_cur - engine.PRUNE_MARGIN
+        if horizon <= 0:
+            continue
+        assert all(view >= horizon for view in engine._timeout_shares)
+        assert all(view >= horizon for view in engine._coin_shares)
+        assert all(view >= horizon for view in engine._completed)
+        assert all(key[0] >= horizon for key in engine._own_blocks)
+        assert all(key[0] >= horizon for key in engine.fqcs)
+
+
+def test_coin_qcs_are_kept_forever():
+    """Historical coin-QCs are needed to judge endorsement of old blocks."""
+    cluster = long_attack_run()
+    replica = cluster.honest_replicas()[0]
+    exited = {
+        e.view for e in cluster.metrics.fallback_events
+        if e.kind == "exited" and e.replica == replica.process_id
+    }
+    assert exited <= set(replica.fallback.coin_qcs)
+
+
+def test_pruning_does_not_hurt_progress():
+    cluster = long_attack_run(min_views=6)
+    assert cluster.metrics.decisions() >= 5
+    from repro.analysis.safety import assert_cluster_safety
+
+    assert_cluster_safety(cluster.honest_replicas())
+
+
+def test_vote_share_accumulators_follow_blocks():
+    cluster = long_attack_run()
+    for replica in cluster.honest_replicas():
+        engine = replica.fallback
+        own_ids = {block.id for block in engine._own_blocks.values()}
+        assert set(engine._own_vote_shares) <= own_ids

@@ -1,0 +1,68 @@
+"""Tests for the leader rotation schedule."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.leader import LeaderSchedule
+
+
+def test_paper_rotation_every_four_rounds():
+    schedule = LeaderSchedule(n=4, rotation_interval=4)
+    # L_{4k+1} .. L_{4k+4} are the same replica.
+    assert [schedule.leader(r) for r in range(1, 5)] == [0, 0, 0, 0]
+    assert [schedule.leader(r) for r in range(5, 9)] == [1, 1, 1, 1]
+    assert schedule.leader(16) == 3
+    assert schedule.leader(17) == 0  # wraps around
+
+
+def test_rounds_are_one_indexed():
+    schedule = LeaderSchedule(n=4)
+    with pytest.raises(ValueError):
+        schedule.leader(0)
+
+
+def test_is_leader():
+    schedule = LeaderSchedule(n=4, rotation_interval=4)
+    assert schedule.is_leader(0, 1)
+    assert not schedule.is_leader(1, 1)
+
+
+def test_rounds_led_by():
+    schedule = LeaderSchedule(n=4, rotation_interval=2)
+    assert schedule.rounds_led_by(1, 1, 8) == [3, 4]
+
+
+def test_next_rotation():
+    schedule = LeaderSchedule(n=4, rotation_interval=4)
+    assert schedule.next_rotation(1) == 5
+    assert schedule.next_rotation(4) == 5
+    assert schedule.next_rotation(5) == 9
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LeaderSchedule(n=0)
+    with pytest.raises(ValueError):
+        LeaderSchedule(n=4, rotation_interval=0)
+
+
+@given(
+    n=st.integers(1, 50),
+    interval=st.integers(1, 8),
+    round_number=st.integers(1, 10_000),
+)
+def test_property_every_round_has_a_valid_leader(n, interval, round_number):
+    schedule = LeaderSchedule(n=n, rotation_interval=interval)
+    leader = schedule.leader(round_number)
+    assert 0 <= leader < n
+    # Stability within a rotation window.
+    window_start = ((round_number - 1) // interval) * interval + 1
+    assert schedule.leader(window_start) == leader
+
+
+@given(n=st.integers(2, 20), interval=st.integers(1, 6))
+def test_property_rotation_is_fair(n, interval):
+    """Over n windows every replica leads exactly one window."""
+    schedule = LeaderSchedule(n=n, rotation_interval=interval)
+    leaders = [schedule.leader(1 + k * interval) for k in range(n)]
+    assert sorted(leaders) == list(range(n))

@@ -1,0 +1,201 @@
+"""Tests for the safety rules (vote/lock state machine)."""
+
+import pytest
+
+from repro.core.config import ProtocolConfig, ProtocolVariant
+from repro.core.safety import SafetyRules
+from repro.types.blocks import Block, FallbackBlock
+from repro.types.certificates import QC, Rank, genesis_qc
+from repro.ledger.blockstore import BlockStore
+
+from tests.types.test_certificates import make_qc
+
+
+@pytest.fixture
+def rules():
+    return SafetyRules(ProtocolConfig(n=4))
+
+
+def block_at(round_, view=0, qc=None):
+    qc = qc if qc is not None else make_qc(round_=round_ - 1, view=view)
+    return Block(qc=qc, round=round_, view=view, author=0)
+
+
+GENESIS_RANK = Rank(0, False, 0)
+
+
+class TestRegularVoting:
+    def test_votes_for_valid_proposal(self, rules):
+        block = block_at(1, qc=genesis_qc("g"))
+        assert rules.may_vote_regular(block, r_cur=1, v_cur=0, fallback_mode=False,
+                                      parent_rank=GENESIS_RANK)
+
+    def test_rejects_wrong_round(self, rules):
+        block = block_at(2)
+        assert not rules.may_vote_regular(block, r_cur=3, v_cur=0,
+                                          fallback_mode=False,
+                                          parent_rank=Rank(0, False, 1))
+
+    def test_rejects_wrong_view(self, rules):
+        block = block_at(2)
+        assert not rules.may_vote_regular(block, r_cur=2, v_cur=1,
+                                          fallback_mode=False,
+                                          parent_rank=Rank(0, False, 1))
+
+    def test_rejects_already_voted_round(self, rules):
+        block = block_at(2)
+        rules.record_regular_vote(block)
+        assert rules.r_vote == 2
+        again = block_at(2)
+        assert not rules.may_vote_regular(again, r_cur=2, v_cur=0,
+                                          fallback_mode=False,
+                                          parent_rank=Rank(0, False, 1))
+
+    def test_rejects_parent_below_lock(self, rules):
+        rules.rank_lock = Rank(0, False, 5)
+        block = block_at(7, qc=make_qc(round_=6))
+        # Parent rank 4 < lock 5.
+        assert not rules.may_vote_regular(block, r_cur=7, v_cur=0,
+                                          fallback_mode=False,
+                                          parent_rank=Rank(0, False, 4))
+
+    def test_rejects_in_fallback_mode(self, rules):
+        block = block_at(2)
+        assert not rules.may_vote_regular(block, r_cur=2, v_cur=0,
+                                          fallback_mode=True,
+                                          parent_rank=Rank(0, False, 1))
+
+    def test_rejects_round_gap_in_fallback_variant(self, rules):
+        # Fallback variants require r == qc.r + 1.
+        block = Block(qc=make_qc(round_=3), round=5, view=0, author=0)
+        assert not rules.may_vote_regular(block, r_cur=5, v_cur=0,
+                                          fallback_mode=False,
+                                          parent_rank=Rank(0, False, 3))
+
+    def test_baseline_allows_round_gap(self):
+        rules = SafetyRules(ProtocolConfig(n=4, variant=ProtocolVariant.DIEMBFT))
+        block = Block(qc=make_qc(round_=3), round=5, view=0, author=0)
+        assert rules.may_vote_regular(block, r_cur=5, v_cur=0,
+                                      fallback_mode=False,
+                                      parent_rank=Rank(0, False, 3))
+
+    def test_stop_voting(self, rules):
+        rules.stop_voting_for(4)
+        assert rules.r_vote == 4
+        rules.stop_voting_below(3)  # must never lower r_vote
+        assert rules.r_vote == 4
+        rules.stop_voting_below(10)
+        assert rules.r_vote == 9
+
+
+class TestLocking:
+    def test_two_chain_lock_uses_parent(self, rules):
+        rules.update_lock(Rank(0, False, 5), Rank(0, False, 4))
+        assert rules.rank_lock == Rank(0, False, 4)
+
+    def test_lock_is_monotone(self, rules):
+        rules.update_lock(Rank(0, False, 5), Rank(0, False, 4))
+        rules.update_lock(Rank(0, False, 3), Rank(0, False, 2))
+        assert rules.rank_lock == Rank(0, False, 4)
+
+    def test_two_chain_lock_skips_unknown_parent(self, rules):
+        rules.update_lock(Rank(0, False, 5), None)
+        assert rules.rank_lock == Rank.zero()
+
+    def test_one_chain_lock_uses_qc_itself(self):
+        rules = SafetyRules(ProtocolConfig(n=4, variant=ProtocolVariant.FALLBACK_2CHAIN))
+        rules.update_lock(Rank(0, False, 5), Rank(0, False, 4))
+        assert rules.rank_lock == Rank(0, False, 5)
+        rules.update_lock(Rank(0, False, 6), None)
+        assert rules.rank_lock == Rank(0, False, 6)
+
+    def test_endorsed_rank_locks_above_regular(self, rules):
+        rules.update_lock(Rank(1, False, 9), Rank(1, True, 3))
+        assert rules.rank_lock == Rank(1, True, 3)
+        assert rules.rank_lock > Rank(1, False, 100)
+
+
+class TestFallbackVoting:
+    def fblock(self, height, proposer, round_, view=1, qc=None):
+        qc = qc if qc is not None else make_qc(round_=round_ - 1, view=view)
+        return FallbackBlock(qc=qc, round=round_, view=view, height=height,
+                             proposer=proposer)
+
+    def test_requires_fallback_mode_and_reset(self, rules):
+        block = self.fblock(1, proposer=2, round_=3)
+        assert not rules.may_vote_fallback(block, v_cur=1, fallback_mode=True,
+                                           parent_rank=Rank(0, False, 2),
+                                           parent_height=None)
+        rules.reset_fallback_votes(1)
+        assert not rules.may_vote_fallback(block, v_cur=1, fallback_mode=False,
+                                           parent_rank=Rank(0, False, 2),
+                                           parent_height=None)
+        assert rules.may_vote_fallback(block, v_cur=1, fallback_mode=True,
+                                       parent_rank=Rank(0, False, 2),
+                                       parent_height=None)
+
+    def test_height_must_increase_per_proposer(self, rules):
+        rules.reset_fallback_votes(1)
+        height1 = self.fblock(1, proposer=2, round_=3)
+        assert rules.may_vote_fallback(height1, 1, True, Rank(0, False, 2), None)
+        rules.record_fallback_vote(height1)
+        # Same height again: rejected.
+        twin = self.fblock(1, proposer=2, round_=4)
+        assert not rules.may_vote_fallback(twin, 1, True, Rank(0, False, 3), None)
+        # But height 1 from a different proposer is fine.
+        other = self.fblock(1, proposer=3, round_=3)
+        assert rules.may_vote_fallback(other, 1, True, Rank(0, False, 2), None)
+
+    def test_height1_lock_check(self, rules):
+        rules.rank_lock = Rank(1, False, 9)
+        rules.reset_fallback_votes(1)
+        low = self.fblock(1, proposer=2, round_=3)
+        assert not rules.may_vote_fallback(low, 1, True, Rank(0, False, 2), None)
+        high = self.fblock(1, proposer=2, round_=11)
+        assert rules.may_vote_fallback(high, 1, True, Rank(1, False, 10), None)
+
+    def test_height1_round_chain_check(self, rules):
+        rules.reset_fallback_votes(1)
+        gap = self.fblock(1, proposer=2, round_=5)
+        # Parent round 2 but block round 5: r != qc.r + 1.
+        assert not rules.may_vote_fallback(gap, 1, True, Rank(0, False, 2), None)
+
+    def test_height2_rules(self, rules):
+        rules.reset_fallback_votes(1)
+        h2 = self.fblock(2, proposer=2, round_=4)
+        assert rules.may_vote_fallback(h2, 1, True, Rank(1, False, 3), parent_height=1)
+        # Wrong parent height.
+        assert not rules.may_vote_fallback(h2, 1, True, Rank(1, False, 3), parent_height=2)
+        # Round must extend parent.
+        assert not rules.may_vote_fallback(h2, 1, True, Rank(1, False, 1), parent_height=1)
+        # Height 2+ must embed an f-QC, not a regular cert.
+        assert not rules.may_vote_fallback(h2, 1, True, Rank(1, False, 3), parent_height=None)
+
+    def test_rounds_strictly_increase_per_proposer(self, rules):
+        rules.reset_fallback_votes(1)
+        h2 = self.fblock(2, proposer=2, round_=4)
+        rules.record_fallback_vote(h2)
+        # A height-3 block at a round <= the recorded one is rejected.
+        h3_low = self.fblock(3, proposer=2, round_=4)
+        assert not rules.may_vote_fallback(h3_low, 1, True, Rank(1, False, 3), parent_height=2)
+        h3 = self.fblock(3, proposer=2, round_=5)
+        assert rules.may_vote_fallback(h3, 1, True, Rank(1, False, 4), parent_height=2)
+
+    def test_view_mismatch_rejected(self, rules):
+        rules.reset_fallback_votes(1)
+        stale = self.fblock(1, proposer=2, round_=3, view=0)
+        assert not rules.may_vote_fallback(stale, 1, True, Rank(0, False, 2), None)
+
+    def test_adopt_leader_votes(self, rules):
+        rules.reset_fallback_votes(1)
+        h1 = self.fblock(1, proposer=2, round_=7)
+        rules.record_fallback_vote(h1)
+        rules.r_vote = 3
+        rules.adopt_leader_votes(2)
+        assert rules.r_vote == 7
+        rules.adopt_leader_votes(3)  # never voted for 3 -> r_vote = 0
+        assert rules.r_vote == 0
+
+    def test_record_outside_fallback_raises(self, rules):
+        with pytest.raises(RuntimeError):
+            rules.record_fallback_vote(self.fblock(1, proposer=2, round_=3))

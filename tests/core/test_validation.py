@@ -1,0 +1,149 @@
+"""Tests for certificate validation and effective ranks."""
+
+from repro.core.validation import (
+    effective_rank,
+    endorse_if_elected,
+    verify_embedded_cert,
+    verify_endorsed,
+    verify_fallback_qc,
+    verify_fallback_tc,
+    verify_parent_cert,
+    verify_qc,
+    verify_timeout_cert,
+)
+from repro.ledger.blockstore import BlockStore
+from repro.types.blocks import Block, FallbackBlock
+from repro.types.certificates import (
+    CoinQC,
+    EndorsedFallbackQC,
+    FallbackTC,
+    QC,
+    Rank,
+    TimeoutCertificate,
+    genesis_qc,
+)
+from repro.crypto.threshold import ThresholdSignature
+
+from tests.core.conftest import make_real_fqc, make_real_qc
+
+
+def test_genesis_qc_always_valid(contexts):
+    store = BlockStore()
+    qc = genesis_qc(store.genesis.id)
+    assert verify_qc(contexts[0], qc)
+
+
+def test_real_qc_verifies(setup, contexts):
+    store = BlockStore()
+    block = Block(qc=genesis_qc(store.genesis.id), round=1, view=0, author=0)
+    qc = make_real_qc(setup, block)
+    assert verify_qc(contexts[1], qc)
+    assert verify_parent_cert(contexts[1], qc)
+
+
+def test_forged_qc_rejected(setup, contexts):
+    store = BlockStore()
+    block = Block(qc=genesis_qc(store.genesis.id), round=1, view=0, author=0)
+    real = make_real_qc(setup, block)
+    forged = QC(
+        block_id=block.id,
+        round=2,  # claims a different round than was signed
+        view=0,
+        signature=real.signature,
+    )
+    assert not verify_qc(contexts[0], forged)
+
+
+def test_undersigned_qc_rejected(setup, contexts):
+    store = BlockStore()
+    block = Block(qc=genesis_qc(store.genesis.id), round=1, view=0, author=0)
+    qc = make_real_qc(setup, block)
+    thin = QC(
+        block_id=qc.block_id,
+        round=qc.round,
+        view=qc.view,
+        signature=ThresholdSignature(
+            epoch=qc.signature.epoch,
+            tag=qc.signature.tag,
+            signers=frozenset([0]),  # below quorum
+        ),
+    )
+    assert not verify_qc(contexts[0], thin)
+
+
+def test_fqc_verification(setup, contexts):
+    store = BlockStore()
+    fblock = FallbackBlock(
+        qc=genesis_qc(store.genesis.id), round=1, view=0, height=1, proposer=2
+    )
+    fqc = make_real_fqc(setup, fblock)
+    assert verify_fallback_qc(contexts[0], fqc)
+    assert verify_embedded_cert(contexts[0], fqc)
+    # Raw f-QCs are not acceptable parent certs for regular blocks.
+    assert not verify_parent_cert(contexts[0], fqc)
+
+
+def test_endorsed_verification(setup, contexts):
+    store = BlockStore()
+    coin = setup.coin
+    view = 0
+    leader = coin._value(view)
+    fblock = FallbackBlock(
+        qc=genesis_qc(store.genesis.id), round=1, view=view, height=1, proposer=leader
+    )
+    fqc = make_real_fqc(setup, fblock)
+    coin_qc = CoinQC(view=view, leader=leader, proof_tag=coin.leader_proof_tag(view))
+    endorsed = EndorsedFallbackQC(fqc=fqc, coin_qc=coin_qc)
+    assert verify_endorsed(contexts[0], endorsed)
+    assert verify_parent_cert(contexts[0], endorsed)
+    bogus = EndorsedFallbackQC(
+        fqc=fqc, coin_qc=CoinQC(view=view, leader=leader, proof_tag="fake")
+    )
+    assert not verify_endorsed(contexts[0], bogus)
+
+
+def test_tc_and_ftc_verification(setup, contexts):
+    scheme = setup.quorum_scheme
+    payload = ("ftimeout", 3)
+    shares = [scheme.sign_share(setup.registry.key_pair(i), payload) for i in range(3)]
+    ftc = FallbackTC(view=3, signature=scheme.combine(shares, payload))
+    assert verify_fallback_tc(contexts[0], ftc)
+    wrong_view = FallbackTC(view=4, signature=ftc.signature)
+    assert not verify_fallback_tc(contexts[0], wrong_view)
+
+    tc_payload = ("timeout", 7)
+    tc_shares = [
+        scheme.sign_share(setup.registry.key_pair(i), tc_payload) for i in range(3)
+    ]
+    tc = TimeoutCertificate(round=7, signature=scheme.combine(tc_shares, tc_payload))
+    assert verify_timeout_cert(contexts[0], tc)
+
+
+def test_effective_rank_with_and_without_coin(setup):
+    store = BlockStore()
+    fblock = FallbackBlock(
+        qc=genesis_qc(store.genesis.id), round=5, view=2, height=1, proposer=1
+    )
+    fqc = make_real_fqc(setup, fblock)
+    # No coin: unendorsed rank.
+    assert effective_rank(fqc, {}) == Rank(2, False, 5)
+    # Coin elected the proposer: endorsed rank.
+    coin_qcs = {2: CoinQC(view=2, leader=1, proof_tag="t")}
+    assert effective_rank(fqc, coin_qcs) == Rank(2, True, 5)
+    # Coin elected someone else: unendorsed.
+    other = {2: CoinQC(view=2, leader=3, proof_tag="t")}
+    assert effective_rank(fqc, other) == Rank(2, False, 5)
+
+
+def test_endorse_if_elected(setup):
+    store = BlockStore()
+    genesis = genesis_qc(store.genesis.id)
+    fblock = FallbackBlock(qc=genesis, round=5, view=2, height=1, proposer=1)
+    fqc = make_real_fqc(setup, fblock)
+    assert endorse_if_elected(fqc, {}) is None
+    coin_qcs = {2: CoinQC(view=2, leader=1, proof_tag="t")}
+    wrapped = endorse_if_elected(fqc, coin_qcs)
+    assert isinstance(wrapped, EndorsedFallbackQC)
+    assert wrapped.fqc is fqc
+    # Regular QCs pass through.
+    assert endorse_if_elected(genesis, {}) is genesis

@@ -1,0 +1,100 @@
+"""Unit tests for the common coin."""
+
+import pytest
+
+from repro.crypto.coin import CommonCoin
+from repro.crypto.keys import Registry
+from repro.crypto.signatures import SignatureError
+
+
+N = 10
+F_PLUS_ONE = 4  # f=3 for n=10
+
+
+@pytest.fixture
+def registry():
+    return Registry(n=N)
+
+
+@pytest.fixture
+def coin(registry):
+    return CommonCoin(registry, threshold=F_PLUS_ONE, seed=7)
+
+
+def shares(coin, registry, view, signers):
+    return [coin.share(registry.key_pair(i), view) for i in signers]
+
+
+def test_reveal_with_threshold_shares(coin, registry):
+    leader = coin.reveal(shares(coin, registry, view=0, signers=range(F_PLUS_ONE)), view=0)
+    assert 0 <= leader < N
+
+
+def test_reveal_below_threshold_fails(coin, registry):
+    with pytest.raises(SignatureError):
+        coin.reveal(shares(coin, registry, 0, range(F_PLUS_ONE - 1)), view=0)
+
+
+def test_any_quorum_reveals_same_value(coin, registry):
+    a = coin.reveal(shares(coin, registry, 3, range(F_PLUS_ONE)), view=3)
+    b = coin.reveal(shares(coin, registry, 3, range(N - F_PLUS_ONE, N)), view=3)
+    assert a == b
+
+
+def test_shares_for_other_view_rejected(coin, registry):
+    with pytest.raises(SignatureError):
+        coin.reveal(shares(coin, registry, 1, range(F_PLUS_ONE)), view=2)
+
+
+def test_duplicate_signers_do_not_count(coin, registry):
+    duplicated = shares(coin, registry, 0, [0] * F_PLUS_ONE)
+    with pytest.raises(SignatureError):
+        coin.reveal(duplicated, view=0)
+
+
+def test_different_views_give_varied_leaders(coin, registry):
+    leaders = {
+        coin.reveal(shares(coin, registry, v, range(F_PLUS_ONE)), view=v)
+        for v in range(50)
+    }
+    # With 50 views over 10 replicas a single repeated leader is (1/10)^49.
+    assert len(leaders) > 1
+
+
+def test_leader_distribution_roughly_uniform(registry):
+    coin = CommonCoin(registry, threshold=F_PLUS_ONE, seed=123)
+    counts = [0] * N
+    for view in range(2000):
+        counts[coin._value(view)] += 1
+    for count in counts:
+        assert 100 < count < 320  # expectation 200; generous bounds
+
+
+def test_leader_proof_verification(coin, registry):
+    view = 5
+    leader = coin.reveal(shares(coin, registry, view, range(F_PLUS_ONE)), view=view)
+    proof = coin.leader_proof_tag(view)
+    assert coin.verify_leader(view, leader, proof)
+    assert not coin.verify_leader(view, (leader + 1) % N, proof)
+    assert not coin.verify_leader(view + 1, leader, proof)
+
+
+def test_invalid_share_rejected(coin, registry):
+    good = shares(coin, registry, 0, range(F_PLUS_ONE - 1))
+    tampered = coin.share(registry.key_pair(9), 0)
+    tampered = type(tampered)(
+        signer=tampered.signer,
+        view=tampered.view,
+        epoch=tampered.epoch,
+        tag="0" * 32,
+    )
+    with pytest.raises(SignatureError):
+        coin.reveal(good + [tampered], view=0)
+
+
+def test_different_seeds_different_schedules(registry):
+    coin_a = CommonCoin(registry, threshold=F_PLUS_ONE, seed=1)
+    coin_b = CommonCoin(registry, threshold=F_PLUS_ONE, seed=2)
+    values_a = [coin_a._value(v) for v in range(20)]
+    values_b = [coin_b._value(v) for v in range(20)]
+    assert values_a != values_b

@@ -1,0 +1,37 @@
+"""Unit tests for hashing."""
+
+from hypothesis import given, strategies as st
+
+from repro.crypto.hashing import hash_bytes, hash_fields
+
+
+def test_hash_is_deterministic():
+    assert hash_fields("a", 1, (2, 3)) == hash_fields("a", 1, (2, 3))
+
+
+def test_hash_differs_on_content():
+    assert hash_fields("a") != hash_fields("b")
+
+
+def test_hash_differs_on_field_boundaries():
+    # Length-prefixing means moving a character across a boundary changes the hash.
+    assert hash_fields("ab", "c") != hash_fields("a", "bc")
+
+
+def test_nested_sequences_are_distinguished():
+    assert hash_fields((1, 2), 3) != hash_fields(1, (2, 3))
+    assert hash_fields([1, 2]) == hash_fields((1, 2))
+
+
+def test_digest_is_fixed_width_hex():
+    digest = hash_bytes(b"data")
+    assert len(digest) == 32
+    int(digest, 16)  # parses as hex
+
+
+@given(st.lists(st.integers(), max_size=8), st.lists(st.integers(), max_size=8))
+def test_property_distinct_tuples_distinct_hashes(a, b):
+    if a != b:
+        assert hash_fields(*a) != hash_fields(*b)
+    else:
+        assert hash_fields(*a) == hash_fields(*b)

@@ -1,0 +1,94 @@
+"""Unit tests for the Byzantine behaviour library."""
+
+import pytest
+
+from repro.faults import (
+    CrashReplica,
+    EquivocatingLeader,
+    NonVoter,
+    SilentReplica,
+    StaleQCLeader,
+    WithholdingLeader,
+    byzantine,
+)
+from repro.runtime.cluster import ClusterBuilder
+
+
+def build(factory, slot=0, n=4, seed=3):
+    return ClusterBuilder(n=n, seed=seed).with_byzantine(slot, factory).build()
+
+
+def test_byzantine_factory_adapts_kwargs():
+    cluster = build(byzantine(CrashReplica, crash_at=12.0))
+    assert isinstance(cluster.replicas[0], CrashReplica)
+    assert cluster.replicas[0].crash_at == 12.0
+
+
+def test_silent_replica_sends_nothing():
+    cluster = build(byzantine(SilentReplica))
+    cluster.run(until=30.0)
+    sent_by_zero = []
+    cluster.network.add_send_hook(
+        lambda s, r, m, t, d: sent_by_zero.append(s) if s == 0 else None
+    )
+    cluster.run(until=60.0)
+    assert sent_by_zero == []
+
+
+def test_crash_replica_honest_until_deadline():
+    cluster = build(byzantine(CrashReplica, crash_at=30.0), slot=1)
+    cluster.run(until=29.0)
+    assert not cluster.replicas[1].crashed
+    cluster.run(until=31.0)
+    assert cluster.replicas[1].crashed
+
+
+def test_withholding_leader_never_proposes():
+    cluster = build(byzantine(WithholdingLeader))
+    cluster.run(until=60.0)
+    proposals_by_zero = [
+        block.author
+        for replica in cluster.honest_replicas()
+        for block in replica.ledger.committed_blocks()
+        if getattr(block, "author", None) == 0
+    ]
+    assert proposals_by_zero == []
+
+
+def test_equivocating_leader_sends_two_blocks():
+    cluster = build(byzantine(EquivocatingLeader))
+    sent_blocks = set()
+    cluster.network.add_send_hook(
+        lambda s, r, m, t, d: sent_blocks.add(m.block.id)
+        if s == 0 and type(m).__name__ == "Proposal" and m.block.round == 1
+        else None
+    )
+    cluster.run(until=10.0)
+    assert len(sent_blocks) == 2  # two conflicting round-1 blocks
+
+
+def test_nonvoter_tracks_but_never_votes():
+    cluster = build(byzantine(NonVoter), slot=1)
+    votes_by_one = []
+    cluster.network.add_send_hook(
+        lambda s, r, m, t, d: votes_by_one.append(m)
+        if s == 1 and type(m).__name__ in ("Vote", "FallbackVote")
+        else None
+    )
+    cluster.run(until=60.0)
+    assert votes_by_one == []
+    # But it keeps up with the chain via certificates.
+    assert cluster.replicas[1].r_cur > 1
+
+
+def test_stale_qc_leader_proposals_extend_genesis():
+    cluster = build(byzantine(StaleQCLeader))
+    stale_blocks = []
+    cluster.network.add_send_hook(
+        lambda s, r, m, t, d: stale_blocks.append(m.block)
+        if s == 0 and type(m).__name__ == "Proposal"
+        else None
+    )
+    cluster.run(until=10.0)
+    assert stale_blocks
+    assert all(block.qc.round == 0 for block in stale_blocks)

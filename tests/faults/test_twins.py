@@ -1,0 +1,84 @@
+"""Twins tests: safety under duplicate-identity equivocation."""
+
+import pytest
+
+from repro.analysis.safety import assert_cluster_safety, check_cluster_safety
+from repro.core.config import ProtocolConfig, ProtocolVariant
+from repro.experiments.scenarios import leader_attack_factory
+from repro.faults.twins import TwinPair, twin_pair_factory
+from repro.runtime.cluster import ClusterBuilder
+
+
+def build_twins(slot=0, n=4, seed=101, variant=ProtocolVariant.FALLBACK_3CHAIN,
+                delay_factory=None):
+    config = ProtocolConfig(n=n, variant=variant, fallback_adoption=True)
+    builder = ClusterBuilder(config=config, seed=seed).with_byzantine(
+        slot, twin_pair_factory
+    )
+    if delay_factory is not None:
+        builder.with_delay_model_factory(delay_factory)
+    return builder.build()
+
+
+def test_twin_pair_hosts_two_replicas():
+    cluster = build_twins()
+    pair = cluster.replicas[0]
+    assert isinstance(pair, TwinPair)
+    assert pair.twin_a is not pair.twin_b
+    assert pair.twin_a.process_id == pair.twin_b.process_id == 0
+    assert pair.twin_a.crypto is pair.twin_b.crypto
+
+
+def test_twins_actually_equivocate():
+    """When the twin identity leads, two different valid proposals for the
+    same round must appear on the wire."""
+    cluster = build_twins(slot=0)
+    round_blocks: dict[int, set] = {}
+    cluster.network.add_send_hook(
+        lambda s, r, m, t, d: round_blocks.setdefault(m.block.round, set()).add(m.block.id)
+        if s == 0 and type(m).__name__ == "Proposal"
+        else None
+    )
+    cluster.run(until=40.0)
+    assert any(len(ids) > 1 for ids in round_blocks.values()), (
+        "twins never diverged; the scenario is vacuous"
+    )
+
+
+@pytest.mark.parametrize("slot", [0, 2])
+def test_safety_with_twins_under_synchrony(slot):
+    cluster = build_twins(slot=slot)
+    result = cluster.run_until_commits(20, until=30_000)
+    assert result.decisions >= 20
+    assert_cluster_safety(cluster.honest_replicas())
+
+
+def test_safety_with_twins_under_leader_attack():
+    cluster = build_twins(slot=1, delay_factory=leader_attack_factory())
+    cluster.run_until_commits(6, until=100_000)
+    assert cluster.metrics.decisions() >= 6
+    assert_cluster_safety(cluster.honest_replicas())
+
+
+def test_safety_with_twins_two_chain_variant():
+    cluster = build_twins(slot=0, variant=ProtocolVariant.FALLBACK_2CHAIN)
+    result = cluster.run_until_commits(15, until=30_000)
+    assert result.decisions >= 15
+    assert_cluster_safety(cluster.honest_replicas())
+
+
+def test_twins_in_fallback_do_not_break_safety():
+    """Force repeated fallbacks; the twin identity builds two divergent
+    fallback chains — the per-identity vote maps must keep at most one
+    certifiable."""
+    cluster = build_twins(slot=3, seed=103, delay_factory=leader_attack_factory())
+    cluster.run_until_commits(5, until=100_000)
+    violations = check_cluster_safety(cluster.honest_replicas())
+    assert not violations, violations[:3]
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_safety_with_twins_across_seeds(seed):
+    cluster = build_twins(slot=seed % 4, seed=200 + seed)
+    cluster.run(until=150.0)
+    assert not check_cluster_safety(cluster.honest_replicas())

@@ -1,0 +1,135 @@
+"""Integration: Byzantine fault tolerance.
+
+Each behaviour is injected (up to f replicas) under synchronous and
+adversarial networks; every run must preserve safety (Theorem 6) and — for
+the fallback protocol — liveness.
+"""
+
+import pytest
+
+from repro.analysis.safety import assert_cluster_safety
+from repro.core.config import ProtocolConfig, ProtocolVariant
+from repro.experiments.scenarios import leader_attack_factory
+from repro.faults import (
+    CrashReplica,
+    EquivocatingLeader,
+    NonVoter,
+    SilentReplica,
+    StaleQCLeader,
+    WithholdingLeader,
+    byzantine,
+)
+from repro.runtime.cluster import ClusterBuilder
+
+
+BEHAVIOURS = [
+    ("silent", byzantine(SilentReplica)),
+    ("crash-late", byzantine(CrashReplica, crash_at=25.0)),
+    ("non-voter", byzantine(NonVoter)),
+    ("withholding-leader", byzantine(WithholdingLeader)),
+    ("equivocating-leader", byzantine(EquivocatingLeader)),
+    ("stale-qc-leader", byzantine(StaleQCLeader)),
+]
+
+
+@pytest.mark.parametrize("name,factory", BEHAVIOURS)
+def test_one_byzantine_replica_n4(name, factory):
+    cluster = (
+        ClusterBuilder(n=4, seed=13)
+        .with_byzantine(0, factory)  # replica 0 leads rounds 1-4: worst spot
+        .build()
+    )
+    result = cluster.run_until_commits(15, until=30_000)
+    assert result.decisions >= 15, f"{name}: protocol lost liveness"
+    assert_cluster_safety(cluster.honest_replicas())
+
+
+@pytest.mark.parametrize("name,factory", BEHAVIOURS)
+def test_f_byzantine_replicas_n7(name, factory):
+    cluster = (
+        ClusterBuilder(n=7, seed=13)
+        .with_byzantine(0, factory)
+        .with_byzantine(3, factory)
+        .build()
+    )
+    result = cluster.run_until_commits(12, until=60_000)
+    assert result.decisions >= 12, f"{name}: lost liveness with f=2 faults"
+    assert_cluster_safety(cluster.honest_replicas())
+
+
+def test_equivocation_never_commits_two_blocks_per_round():
+    cluster = (
+        ClusterBuilder(n=4, seed=17)
+        .with_byzantine(0, byzantine(EquivocatingLeader))
+        .build()
+    )
+    cluster.run_until_commits(20, until=30_000)
+    seen: dict[tuple, str] = {}
+    for replica in cluster.honest_replicas():
+        for block in replica.ledger.committed_blocks():
+            key = (block.view, block.round)
+            assert seen.setdefault(key, block.id) == block.id
+    assert_cluster_safety(cluster.honest_replicas())
+
+
+def test_byzantine_plus_network_attack():
+    """The hardest configuration: f Byzantine replicas AND the asynchronous
+    leader-targeting scheduler.  Chain adoption is enabled (the paper's own
+    optimization), which repairs the height-1 lock-mismatch liveness corner
+    of the brief announcement (see DESIGN.md)."""
+    config = ProtocolConfig(n=4, fallback_adoption=True)
+    cluster = (
+        ClusterBuilder(config=config, seed=19)
+        .with_byzantine(1, byzantine(SilentReplica))
+        .with_delay_model_factory(leader_attack_factory())
+        .build()
+    )
+    result = cluster.run_until_commits(6, until=100_000)
+    assert result.decisions >= 6
+    assert_cluster_safety(cluster.honest_replicas())
+
+
+def test_crash_mid_fallback_is_tolerated():
+    config = ProtocolConfig(n=4)
+    cluster = (
+        ClusterBuilder(config=config, seed=23)
+        .with_byzantine(2, byzantine(CrashReplica, crash_at=70.0))
+        .with_delay_model_factory(leader_attack_factory())
+        .build()
+    )
+    result = cluster.run_until_commits(6, until=100_000)
+    assert result.decisions >= 6
+    assert_cluster_safety(cluster.honest_replicas())
+
+
+def test_stale_qc_leader_blocks_are_rejected():
+    cluster = (
+        ClusterBuilder(n=4, seed=29)
+        .with_byzantine(0, byzantine(StaleQCLeader))
+        .build()
+    )
+    cluster.run_until_commits(10, until=30_000)
+    from repro.types.blocks import Block
+
+    for replica in cluster.honest_replicas():
+        for block in replica.ledger.committed_blocks():
+            if isinstance(block, Block):
+                assert block.author != 0, "a stale-QC block was committed"
+
+
+def test_builder_rejects_more_than_f_byzantine():
+    builder = ClusterBuilder(n=4, seed=1).with_byzantine(0, byzantine(SilentReplica))
+    with pytest.raises(ValueError):
+        builder.with_byzantine(1, byzantine(SilentReplica))
+
+
+def test_two_chain_variant_with_byzantine_leader():
+    config = ProtocolConfig(n=4, variant=ProtocolVariant.FALLBACK_2CHAIN)
+    cluster = (
+        ClusterBuilder(config=config, seed=31)
+        .with_byzantine(0, byzantine(WithholdingLeader))
+        .build()
+    )
+    result = cluster.run_until_commits(12, until=30_000)
+    assert result.decisions >= 12
+    assert_cluster_safety(cluster.honest_replicas())

@@ -1,0 +1,134 @@
+"""Message fuzzing: malformed and adversarial messages must be harmless.
+
+Hypothesis builds protocol messages with nonsense fields (wrong views,
+absurd heights, negative rounds, forged certificates, misattributed
+shares) and delivers them to honest replicas.  Nothing may crash, no
+unjustified state change may occur, and a healthy cluster must keep
+committing afterwards.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.safety import check_cluster_safety
+from repro.crypto.coin import CoinShare
+from repro.crypto.threshold import ThresholdSignature, ThresholdSignatureShare
+from repro.runtime.cluster import ClusterBuilder
+from repro.types.blocks import Block, FallbackBlock, genesis_block
+from repro.types.certificates import (
+    CoinQC,
+    FallbackQC,
+    FallbackTC,
+    QC,
+    TimeoutCertificate,
+    genesis_qc,
+)
+from repro.types.messages import (
+    BlockRequest,
+    BlockResponse,
+    ChainRequest,
+    CoinQCMessage,
+    CoinShareMessage,
+    FallbackProposal,
+    FallbackQCMessage,
+    FallbackTCMessage,
+    FallbackTimeout,
+    FallbackVote,
+    PacemakerTimeout,
+    Proposal,
+    Vote,
+)
+
+ids = st.text(alphabet="0123456789abcdef", min_size=1, max_size=32)
+small_ints = st.integers(-5, 50)
+signers = st.integers(-2, 9)
+
+fake_tsig = st.builds(
+    ThresholdSignature,
+    epoch=st.integers(0, 1),
+    tag=ids,
+    signers=st.sets(st.integers(0, 6), max_size=7).map(frozenset),
+)
+fake_share = st.builds(
+    ThresholdSignatureShare, signer=signers, epoch=st.integers(0, 1), tag=ids
+)
+fake_qc = st.builds(QC, block_id=ids, round=small_ints, view=small_ints,
+                    signature=fake_tsig)
+fake_fqc = st.builds(
+    FallbackQC, block_id=ids, round=small_ints, view=small_ints,
+    height=st.integers(1, 5), proposer=signers, signature=fake_tsig,
+)
+fake_block = st.builds(
+    Block, qc=fake_qc, round=small_ints, view=small_ints, author=signers
+)
+fake_fblock = st.builds(
+    FallbackBlock, qc=st.one_of(fake_qc, fake_fqc), round=small_ints,
+    view=small_ints, height=st.integers(1, 5), proposer=signers,
+)
+fake_ftc = st.builds(FallbackTC, view=small_ints, signature=fake_tsig)
+fake_coin_share = st.builds(
+    CoinShare, signer=signers, view=small_ints, epoch=st.integers(0, 1), tag=ids
+)
+fake_coin_qc = st.builds(CoinQC, view=small_ints, leader=signers, proof_tag=ids)
+
+fuzz_messages = st.one_of(
+    st.builds(Proposal, block=fake_block),
+    st.builds(Vote, block_id=ids, round=small_ints, view=small_ints,
+              share=fake_share),
+    st.builds(FallbackTimeout, view=small_ints, share=fake_share,
+              qc_high=fake_qc),
+    st.builds(PacemakerTimeout, round=small_ints, share=fake_share,
+              qc_high=fake_qc),
+    st.builds(FallbackTCMessage, ftc=fake_ftc),
+    st.builds(FallbackProposal, fblock=fake_fblock,
+              ftc=st.one_of(st.none(), fake_ftc)),
+    st.builds(FallbackVote, block_id=ids, round=small_ints, view=small_ints,
+              height=st.integers(1, 5), proposer=signers, share=fake_share),
+    st.builds(FallbackQCMessage, fqc=fake_fqc),
+    st.builds(CoinShareMessage, share=fake_coin_share),
+    st.builds(CoinQCMessage, coin_qc=fake_coin_qc),
+    st.builds(BlockRequest, block_id=ids),
+    st.builds(BlockResponse, block=fake_block),
+    st.builds(ChainRequest, block_id=ids, max_blocks=st.integers(-5, 500)),
+    st.just("not even a message"),
+    st.just(None),
+    st.just(42),
+)
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    messages=st.lists(st.tuples(st.integers(0, 3), fuzz_messages), max_size=12),
+    seed=st.integers(0, 1000),
+)
+def test_fuzzed_messages_never_corrupt_an_idle_replica(messages, seed):
+    cluster = ClusterBuilder(n=4, seed=seed).with_preload(20).build()
+    target = cluster.replicas[1]
+    for sender, message in messages:
+        target.deliver(sender, message)  # must not raise
+    # No forged certificate may have moved the replica's safety state.
+    assert target.safety.r_vote == 0
+    assert target.qc_high.round == 0
+    assert target.ledger.height == 0
+    # Forged f-TCs never verify, so the fallback can never be entered.
+    assert not target.fallback_mode
+    assert target.fallback.entered_view == -1
+    cluster.scheduler.drain(limit=100_000)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    messages=st.lists(st.tuples(st.integers(0, 3), fuzz_messages), max_size=8),
+    seed=st.integers(0, 1000),
+)
+def test_cluster_stays_live_after_fuzzing(messages, seed):
+    cluster = ClusterBuilder(n=4, seed=seed).with_preload(200).build()
+    cluster.start()
+    for sender, message in messages:
+        for replica in cluster.replicas:
+            replica.deliver(sender, message)
+    cluster.run(until=120.0)
+    assert cluster.metrics.decisions() >= 5
+    assert not check_cluster_safety(cluster.honest_replicas())

@@ -1,0 +1,141 @@
+"""Property-based adversarial testing: safety under random schedules.
+
+Hypothesis draws a cluster size, a protocol variant, a network regime, a
+fault assignment and a seed; the run must end with all of the paper's
+safety invariants intact (Theorem 6 + the chain laws of Lemma 2) — and, for
+the fallback variants under eventually-reasonable networks, with progress.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.safety import check_cluster_safety
+from repro.core.config import ProtocolConfig, ProtocolVariant
+from repro.experiments.scenarios import leader_attack_factory
+from repro.faults import (
+    CrashReplica,
+    EquivocatingLeader,
+    NonVoter,
+    SilentReplica,
+    StaleQCLeader,
+    WithholdingLeader,
+    byzantine,
+)
+from repro.net.conditions import AsynchronousDelay, SynchronousDelay
+from repro.runtime.cluster import ClusterBuilder
+
+FAULT_FACTORIES = [
+    None,
+    byzantine(SilentReplica),
+    byzantine(CrashReplica, crash_at=20.0),
+    byzantine(NonVoter),
+    byzantine(WithholdingLeader),
+    byzantine(EquivocatingLeader),
+    byzantine(StaleQCLeader),
+]
+
+VARIANTS = [
+    ProtocolVariant.FALLBACK_3CHAIN,
+    ProtocolVariant.FALLBACK_2CHAIN,
+    ProtocolVariant.DIEMBFT,
+    ProtocolVariant.ALWAYS_FALLBACK,
+]
+
+
+def build_and_run(variant, n, seed, network, fault_index, fault_replica, budget):
+    config = ProtocolConfig(n=n, variant=variant, fallback_adoption=True)
+    builder = ClusterBuilder(config=config, seed=seed).with_preload(500)
+    factory = FAULT_FACTORIES[fault_index]
+    if factory is not None:
+        builder.with_byzantine(fault_replica % n, factory)
+    if network == "sync":
+        builder.with_delay_model(SynchronousDelay(delta=1.0))
+    elif network == "async":
+        builder.with_delay_model(
+            AsynchronousDelay(base_delay=0.5, tail_scale=6.0, max_delay=60.0)
+        )
+    else:  # leader attack
+        builder.with_delay_model_factory(leader_attack_factory(attack_delay=30.0))
+    cluster = builder.build()
+    cluster.run(until=budget, max_events=2_000_000)
+    return cluster
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    variant=st.sampled_from(VARIANTS),
+    n=st.sampled_from([4, 7]),
+    seed=st.integers(0, 10_000),
+    network=st.sampled_from(["sync", "async", "attack"]),
+    fault_index=st.integers(0, len(FAULT_FACTORIES) - 1),
+    fault_replica=st.integers(0, 6),
+)
+def test_safety_holds_under_random_adversaries(
+    variant, n, seed, network, fault_index, fault_replica
+):
+    cluster = build_and_run(
+        variant, n, seed, network, fault_index, fault_replica, budget=400.0
+    )
+    violations = check_cluster_safety(cluster.honest_replicas())
+    assert not violations, "; ".join(str(v) for v in violations[:3])
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.sampled_from([4, 7]),
+    fault_index=st.integers(0, len(FAULT_FACTORIES) - 1),
+    fault_replica=st.integers(0, 6),
+)
+def test_fallback_protocol_live_under_synchrony_with_any_fault(
+    seed, n, fault_index, fault_replica
+):
+    cluster = build_and_run(
+        ProtocolVariant.FALLBACK_3CHAIN,
+        n,
+        seed,
+        "sync",
+        fault_index,
+        fault_replica,
+        budget=600.0,
+    )
+    assert cluster.metrics.decisions() >= 5
+    assert not check_cluster_safety(cluster.honest_replicas())
+
+
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000))
+def test_fallback_protocol_live_under_pure_asynchrony(seed):
+    cluster = build_and_run(
+        ProtocolVariant.FALLBACK_3CHAIN, 4, seed, "attack", 0, 0, budget=3_000.0
+    )
+    assert cluster.metrics.decisions() >= 2
+    assert not check_cluster_safety(cluster.honest_replicas())
+
+
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000), duplicates=st.integers(1, 3))
+def test_duplicate_message_delivery_is_idempotent(seed, duplicates):
+    """Replica handlers must tolerate duplicated deliveries (the adversary
+    may not duplicate in our channel model, but idempotence is the standard
+    hardening and commits must not double-count)."""
+    from repro.net.network import Network
+
+    original_send = Network.send
+
+    def duplicating_send(self, sender, receiver, message):
+        for _ in range(duplicates):
+            original_send(self, sender, receiver, message)
+
+    Network.send = duplicating_send
+    try:
+        config = ProtocolConfig(n=4)
+        cluster = ClusterBuilder(config=config, seed=seed).build()
+        cluster.run(until=120.0)
+    finally:
+        Network.send = original_send
+    assert cluster.metrics.decisions() >= 5
+    assert not check_cluster_safety(cluster.honest_replicas())
+    for replica in cluster.honest_replicas():
+        positions = [record.position for record in replica.ledger.records]
+        assert positions == sorted(set(positions))

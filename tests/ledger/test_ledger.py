@@ -1,0 +1,104 @@
+"""Tests for the committed ledger and state machines."""
+
+from repro.ledger.blockstore import BlockStore
+from repro.ledger.ledger import KVStateMachine, Ledger, NullStateMachine
+from repro.types.blocks import Block
+from repro.types.certificates import genesis_qc
+from repro.types.transactions import Batch, Transaction, make_transaction
+
+from tests.ledger.test_blockstore import chain_of
+
+
+def make_ledger(state_machine=None):
+    store = BlockStore()
+    return store, Ledger(store, state_machine or NullStateMachine())
+
+
+def test_initial_state():
+    store, ledger = make_ledger()
+    assert ledger.height == 0
+    assert ledger.last_committed is store.genesis
+    assert ledger.is_committed(store.genesis.id)
+
+
+def test_commit_through_appends_suffix():
+    store, ledger = make_ledger()
+    blocks = chain_of(store, 3)
+    records = ledger.commit_through(blocks[2], now=10.0)
+    assert [record.block for record in records] == blocks
+    assert ledger.height == 3
+    assert ledger.last_committed is blocks[2]
+    assert [record.position for record in records] == [0, 1, 2]
+    assert all(record.committed_at == 10.0 for record in records)
+
+
+def test_incremental_commits():
+    store, ledger = make_ledger()
+    blocks = chain_of(store, 4)
+    ledger.commit_through(blocks[1], now=1.0)
+    records = ledger.commit_through(blocks[3], now=2.0)
+    assert [record.block for record in records] == blocks[2:]
+    assert ledger.committed_blocks() == blocks
+
+
+def test_recommit_is_noop():
+    store, ledger = make_ledger()
+    blocks = chain_of(store, 2)
+    ledger.commit_through(blocks[1], now=1.0)
+    assert ledger.commit_through(blocks[1], now=2.0) == []
+    assert ledger.commit_through(blocks[0], now=2.0) == []
+    assert ledger.height == 2
+
+
+def test_commit_with_gap_defers():
+    store, ledger = make_ledger()
+    blocks = chain_of(store, 3)
+    # Simulate a replica missing the middle block: fresh store without it.
+    sparse = BlockStore()
+    sparse.add(blocks[0])
+    sparse.add(blocks[2])  # parent (blocks[1]) missing
+    sparse_ledger = Ledger(sparse)
+    assert sparse_ledger.commit_through(blocks[2], now=1.0) == []
+    sparse.add(blocks[1])
+    records = sparse_ledger.commit_through(blocks[2], now=2.0)
+    assert len(records) == 3
+
+
+def test_state_machine_application_order():
+    class Recorder(NullStateMachine):
+        def __init__(self):
+            self.applied = []
+
+        def apply(self, transaction):
+            self.applied.append(transaction.tx_id)
+
+    recorder = Recorder()
+    store = BlockStore()
+    ledger = Ledger(store, recorder)
+    qc = genesis_qc(store.genesis.id)
+    batch = Batch.of([make_transaction(0), make_transaction(1)])
+    block = Block(qc=qc, round=1, view=0, batch=batch, author=0)
+    store.add(block)
+    ledger.commit_through(block, now=0.0)
+    assert recorder.applied == ["tx-0-0", "tx-0-1"]
+
+
+def test_kv_state_machine():
+    kv = KVStateMachine()
+    kv.apply(Transaction(tx_id="a", payload="set color blue"))
+    kv.apply(Transaction(tx_id="b", payload="set color red"))
+    kv.apply(Transaction(tx_id="c", payload="unknown command"))
+    assert kv.data == {"color": "red"}
+
+
+def test_committed_transactions_and_record_at():
+    store, ledger = make_ledger()
+    qc = genesis_qc(store.genesis.id)
+    batch = Batch.of([make_transaction(7)])
+    block = Block(qc=qc, round=1, view=0, batch=batch, author=0)
+    store.add(block)
+    ledger.commit_through(block, now=0.0)
+    assert [tx.tx_id for tx in ledger.committed_transactions()] == ["tx-0-7"]
+    assert ledger.record_at(0).block is block
+    assert ledger.record_at(5) is None
+    assert ledger.record_at(-1) is None

@@ -1,0 +1,110 @@
+"""Tests for delay models."""
+
+import random
+
+import pytest
+
+from repro.net.conditions import (
+    AsynchronousDelay,
+    LeaderTargetingAdversary,
+    NetworkSchedule,
+    PartialSynchronyDelay,
+    PartitionDelay,
+    SynchronousDelay,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0)
+
+
+def draw_many(model, rng, count=200, sender=0, receiver=1, now=0.0):
+    return [model.delay(sender, receiver, None, now, rng) for _ in range(count)]
+
+
+def test_synchronous_bounded_by_delta(rng):
+    model = SynchronousDelay(delta=2.0, min_delay=0.5)
+    for delay in draw_many(model, rng):
+        assert 0.5 <= delay <= 2.0
+
+
+def test_synchronous_validation():
+    with pytest.raises(ValueError):
+        SynchronousDelay(delta=1.0, min_delay=2.0)
+    with pytest.raises(ValueError):
+        SynchronousDelay(delta=1.0, min_delay=0.0)
+
+
+def test_asynchronous_has_heavy_tail_but_finite(rng):
+    model = AsynchronousDelay(base_delay=0.1, tail_scale=5.0, max_delay=100.0)
+    delays = draw_many(model, rng, count=2000)
+    assert all(0.0 < d <= 100.0 for d in delays)
+    assert max(delays) > 10.0  # the tail actually bites
+    assert min(delays) < 1.0
+
+
+def test_leader_targeting_slows_only_targets(rng):
+    targets = {1}
+    model = LeaderTargetingAdversary(
+        targets=lambda: targets, attack_delay=50.0, fast=SynchronousDelay(delta=1.0)
+    )
+    assert model.delay(0, 1, None, 0.0, rng) >= 50.0  # to the target
+    assert model.delay(1, 2, None, 0.0, rng) >= 50.0  # from the target
+    assert model.delay(0, 2, None, 0.0, rng) <= 1.0  # unrelated traffic
+
+    targets.clear()
+    targets.add(2)  # adversary retargets as the leader changes
+    assert model.delay(0, 1, None, 0.0, rng) <= 1.0
+    assert model.delay(0, 2, None, 0.0, rng) >= 50.0
+
+
+def test_partial_synchrony_switches_at_gst(rng):
+    model = PartialSynchronyDelay(
+        gst=100.0,
+        before=AsynchronousDelay(base_delay=20.0, tail_scale=0.0),
+        after=SynchronousDelay(delta=1.0),
+    )
+    assert model.delay(0, 1, None, 50.0, rng) >= 20.0
+    assert model.delay(0, 1, None, 100.0, rng) <= 1.0
+
+
+def test_partition_holds_cross_traffic_until_heal(rng):
+    model = PartitionDelay(groups=[[0, 1], [2, 3]], heal_time=30.0, base=SynchronousDelay(delta=1.0))
+    # Cross-partition before heal: held until heal time.
+    assert model.delay(0, 2, None, 10.0, rng) >= 20.0
+    # Same side: normal.
+    assert model.delay(0, 1, None, 10.0, rng) <= 1.0
+    # After heal: normal.
+    assert model.delay(0, 2, None, 31.0, rng) <= 1.0
+
+
+def test_partition_rejects_overlapping_groups():
+    with pytest.raises(ValueError):
+        PartitionDelay(groups=[[0, 1], [1, 2]], heal_time=1.0)
+
+
+def test_schedule_picks_phase_by_time(rng):
+    sync = SynchronousDelay(delta=1.0)
+    slow = AsynchronousDelay(base_delay=30.0, tail_scale=0.0)
+    schedule = NetworkSchedule([(0.0, sync), (50.0, slow), (100.0, sync)])
+    assert schedule.model_at(10.0) is sync
+    assert schedule.model_at(50.0) is slow
+    assert schedule.model_at(99.0) is slow
+    assert schedule.model_at(150.0) is sync
+    assert schedule.delay(0, 1, None, 60.0, rng) >= 30.0
+    assert schedule.delay(0, 1, None, 10.0, rng) <= 1.0
+
+
+def test_schedule_validation():
+    with pytest.raises(ValueError):
+        NetworkSchedule([])
+    with pytest.raises(ValueError):
+        NetworkSchedule([(5.0, SynchronousDelay())])
+
+
+def test_describe_strings():
+    assert "sync" in SynchronousDelay().describe()
+    assert "async" in AsynchronousDelay().describe()
+    assert "GST" in PartialSynchronyDelay(1.0, SynchronousDelay(), SynchronousDelay()).describe()
+    assert "schedule" in NetworkSchedule([(0.0, SynchronousDelay())]).describe()

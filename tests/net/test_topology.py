@@ -1,0 +1,95 @@
+"""Tests for the cross-region delay model."""
+
+import random
+
+import pytest
+
+from repro.net.topology import CrossRegionDelay, evenly_spread_regions
+from repro.runtime.cluster import ClusterBuilder
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0)
+
+
+def model_4():
+    return CrossRegionDelay(
+        region_of={0: "us", 1: "us", 2: "eu", 3: "eu"},
+        intra=(0.01, 0.05),
+        inter=(0.5, 1.0),
+    )
+
+
+def test_intra_region_is_fast(rng):
+    model = model_4()
+    for _ in range(100):
+        assert model.delay(0, 1, None, 0.0, rng) <= 0.05
+        assert model.delay(2, 3, None, 0.0, rng) <= 0.05
+
+
+def test_inter_region_is_slow(rng):
+    model = model_4()
+    for _ in range(100):
+        assert 0.5 <= model.delay(0, 2, None, 0.0, rng) <= 1.0
+
+
+def test_pair_bands_override_default(rng):
+    model = CrossRegionDelay(
+        region_of={0: "us", 1: "eu", 2: "ap"},
+        intra=(0.01, 0.02),
+        inter=(0.5, 1.0),
+        pair_bands={("us", "eu"): (0.08, 0.1)},
+    )
+    assert model.delay(0, 1, None, 0.0, rng) <= 0.1  # us<->eu special band
+    assert model.delay(1, 0, None, 0.0, rng) <= 0.1  # symmetric
+    assert model.delay(0, 2, None, 0.0, rng) >= 0.5  # default band
+
+
+def test_unknown_replica_uses_inter_band(rng):
+    model = model_4()
+    assert model.delay(0, 9, None, 0.0, rng) >= 0.5
+
+
+def test_delta_is_worst_band():
+    model = CrossRegionDelay(
+        region_of={0: "us", 1: "eu"},
+        intra=(0.01, 0.05),
+        inter=(0.5, 1.0),
+        pair_bands={("us", "eu"): (1.0, 2.0)},
+    )
+    assert model.delta == 2.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CrossRegionDelay(region_of={})
+    with pytest.raises(ValueError):
+        CrossRegionDelay(region_of={0: "us"}, intra=(0.0, 1.0))
+
+
+def test_evenly_spread_regions():
+    assignment = evenly_spread_regions(7, ["us", "eu", "ap"])
+    assert assignment[0] == "us"
+    assert assignment[1] == "eu"
+    assert assignment[2] == "ap"
+    assert assignment[3] == "us"
+    assert len(assignment) == 7
+    with pytest.raises(ValueError):
+        evenly_spread_regions(4, [])
+
+
+def test_protocol_runs_on_cross_region_topology():
+    model = CrossRegionDelay(
+        region_of=evenly_spread_regions(4, ["us", "eu"]),
+        intra=(0.01, 0.05),
+        inter=(0.3, 0.9),
+    )
+    cluster = ClusterBuilder(n=4, seed=61).with_delay_model(model).build()
+    result = cluster.run_until_commits(15, until=10_000)
+    assert result.decisions >= 15
+    assert cluster.metrics.fallback_count() == 0  # still synchronous
+
+
+def test_describe():
+    assert "us" in model_4().describe()

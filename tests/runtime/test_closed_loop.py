@@ -1,0 +1,41 @@
+"""Tests for closed-loop workload wiring through commit notifications."""
+
+from repro.runtime.cluster import ClusterBuilder
+from repro.workloads.generator import ClosedLoopWorkload
+
+
+def build(outstanding=10, seed=121):
+    return (
+        ClusterBuilder(n=4, seed=seed)
+        .with_workload(
+            lambda pools: ClosedLoopWorkload(pools, outstanding=outstanding)
+        )
+        .build()
+    )
+
+
+def test_closed_loop_replenishes_through_commits():
+    cluster = build(outstanding=10)
+    cluster.run_until_commits(10, until=10_000)
+    workload = cluster.workload
+    committed = len(cluster.honest_replicas()[0].ledger.committed_transactions())
+    # Every committed transaction triggered a replacement submission.
+    assert len(workload.submitted) >= 10 + committed - 10  # initial + refills
+    assert len(workload.submitted) > workload.outstanding
+
+
+def test_outstanding_stays_bounded():
+    cluster = build(outstanding=5)
+    cluster.run_until_commits(20, until=10_000)
+    workload = cluster.workload
+    mempool = cluster.mempools[0]
+    # In a quiesced moment, pending = submitted - committed <= outstanding + batch in flight.
+    cluster.run(until=cluster.scheduler.now + 30)
+    assert len(mempool) <= workload.outstanding + cluster.config.batch_size
+
+
+def test_each_commit_notifies_once():
+    cluster = build(outstanding=4)
+    cluster.run_until_commits(10, until=10_000)
+    tx_ids = [tx.tx_id for tx in cluster.workload.submitted]
+    assert len(tx_ids) == len(set(tx_ids))  # no duplicate replacements

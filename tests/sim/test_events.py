@@ -1,0 +1,86 @@
+"""Unit tests for the event queue."""
+
+from repro.sim.events import EventQueue, describe_event
+
+import pytest
+
+
+def test_events_pop_in_time_order():
+    queue = EventQueue()
+    fired = []
+    queue.push(3.0, lambda: fired.append("c"))
+    queue.push(1.0, lambda: fired.append("a"))
+    queue.push(2.0, lambda: fired.append("b"))
+    while (event := queue.pop()) is not None:
+        event.fire()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    queue = EventQueue()
+    fired = []
+    for name in ["first", "second", "third"]:
+        queue.push(5.0, lambda name=name: fired.append(name))
+    while (event := queue.pop()) is not None:
+        event.fire()
+    assert fired == ["first", "second", "third"]
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    fired = []
+    keep = queue.push(1.0, lambda: fired.append("keep"))
+    drop = queue.push(0.5, lambda: fired.append("drop"))
+    drop.cancel()
+    event = queue.pop()
+    assert event is keep
+    event.fire()
+    assert fired == ["keep"]
+    assert queue.pop() is None
+
+
+def test_len_ignores_cancelled():
+    queue = EventQueue()
+    first = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert len(queue) == 2
+    first.cancel()
+    assert len(queue) == 1
+
+
+def test_peek_time_skips_cancelled():
+    queue = EventQueue()
+    early = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert queue.peek_time() == 1.0
+    early.cancel()
+    assert queue.peek_time() == 2.0
+
+
+def test_negative_time_rejected():
+    queue = EventQueue()
+    with pytest.raises(ValueError):
+        queue.push(-1.0, lambda: None)
+
+
+def test_clear_empties_queue():
+    queue = EventQueue()
+    queue.push(1.0, lambda: None)
+    queue.clear()
+    assert queue.pop() is None
+
+
+def test_describe_event_fields():
+    queue = EventQueue()
+    event = queue.push(4.0, lambda: None, label="hello")
+    description = describe_event(event)
+    assert description == {"time": 4.0, "seq": 0, "label": "hello"}
+
+
+def test_cancelled_event_does_not_fire():
+    queue = EventQueue()
+    fired = []
+    event = queue.push(1.0, lambda: fired.append(1))
+    event.cancel()
+    event.fire()
+    assert fired == []

@@ -1,0 +1,93 @@
+"""Unit tests for the Process actor base class."""
+
+from repro.sim.process import NullProcess, Process, process_name
+from repro.sim.scheduler import Scheduler
+
+
+class Recorder(Process):
+    def __init__(self, process_id, scheduler):
+        super().__init__(process_id, scheduler)
+        self.messages = []
+        self.timers = []
+
+    def on_message(self, sender, message):
+        self.messages.append((sender, message))
+
+    def on_timer(self, name):
+        self.timers.append((name, self.now))
+
+
+def test_deliver_invokes_on_message():
+    scheduler = Scheduler(seed=1)
+    proc = Recorder(0, scheduler)
+    proc.deliver(3, "hello")
+    assert proc.messages == [(3, "hello")]
+
+
+def test_crashed_process_ignores_messages_and_timers():
+    scheduler = Scheduler(seed=1)
+    proc = Recorder(0, scheduler)
+    proc.set_timer("tick", 1.0)
+    proc.crash()
+    proc.deliver(1, "x")
+    scheduler.run()
+    assert proc.messages == []
+    assert proc.timers == []
+
+
+def test_named_timer_fires_once():
+    scheduler = Scheduler(seed=1)
+    proc = Recorder(0, scheduler)
+    proc.set_timer("round", 2.0)
+    scheduler.run()
+    assert proc.timers == [("round", 2.0)]
+    assert not proc.timer_active("round")
+
+
+def test_rearming_timer_replaces_previous():
+    scheduler = Scheduler(seed=1)
+    proc = Recorder(0, scheduler)
+    proc.set_timer("round", 2.0)
+    proc.set_timer("round", 5.0)  # re-arm: old timer must not fire
+    scheduler.run()
+    assert proc.timers == [("round", 5.0)]
+
+
+def test_cancel_timer():
+    scheduler = Scheduler(seed=1)
+    proc = Recorder(0, scheduler)
+    proc.set_timer("round", 2.0)
+    proc.cancel_timer("round")
+    scheduler.run()
+    assert proc.timers == []
+
+
+def test_cancel_all_timers():
+    scheduler = Scheduler(seed=1)
+    proc = Recorder(0, scheduler)
+    proc.set_timer("a", 1.0)
+    proc.set_timer("b", 2.0)
+    proc.cancel_all_timers()
+    scheduler.run()
+    assert proc.timers == []
+
+
+def test_independent_timer_slots():
+    scheduler = Scheduler(seed=1)
+    proc = Recorder(0, scheduler)
+    proc.set_timer("a", 1.0)
+    proc.set_timer("b", 2.0)
+    scheduler.run()
+    assert proc.timers == [("a", 1.0), ("b", 2.0)]
+
+
+def test_null_process_ignores_everything():
+    scheduler = Scheduler(seed=1)
+    proc = NullProcess(9, scheduler)
+    proc.deliver(0, "ignored")  # must not raise
+
+
+def test_process_name():
+    scheduler = Scheduler(seed=1)
+    assert process_name(NullProcess(4, scheduler)) == "nullprocess-4"
+    assert process_name(None) == "<none>"

@@ -1,0 +1,114 @@
+"""Unit tests for the scheduler: clock, timers, determinism, run loop."""
+
+import pytest
+
+from repro.sim.scheduler import Scheduler, SimulationError
+
+
+def test_clock_advances_to_event_times():
+    scheduler = Scheduler(seed=1)
+    times = []
+    scheduler.call_at(2.5, lambda: times.append(scheduler.now))
+    scheduler.call_at(1.5, lambda: times.append(scheduler.now))
+    scheduler.run()
+    assert times == [1.5, 2.5]
+    assert scheduler.now == 2.5
+
+
+def test_call_after_is_relative():
+    scheduler = Scheduler(seed=1)
+    seen = []
+    scheduler.call_at(10.0, lambda: scheduler.call_after(5.0, lambda: seen.append(scheduler.now)))
+    scheduler.run()
+    assert seen == [15.0]
+
+
+def test_cannot_schedule_in_the_past():
+    scheduler = Scheduler(seed=1)
+    scheduler.call_at(10.0, lambda: None)
+    scheduler.run()
+    with pytest.raises(SimulationError):
+        scheduler.call_at(5.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    scheduler = Scheduler(seed=1)
+    with pytest.raises(SimulationError):
+        scheduler.call_after(-1.0, lambda: None)
+
+
+def test_run_until_bound_stops_clock_at_bound():
+    scheduler = Scheduler(seed=1)
+    fired = []
+    scheduler.call_at(1.0, lambda: fired.append(1))
+    scheduler.call_at(100.0, lambda: fired.append(2))
+    end = scheduler.run(until=10.0)
+    assert fired == [1]
+    assert end == 10.0
+    assert scheduler.pending_events == 1
+
+
+def test_run_max_events():
+    scheduler = Scheduler(seed=1)
+    fired = []
+    for i in range(10):
+        scheduler.call_at(float(i + 1), lambda i=i: fired.append(i))
+    scheduler.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_stop_when_predicate():
+    scheduler = Scheduler(seed=1)
+    fired = []
+    for i in range(200):
+        scheduler.call_at(float(i + 1), lambda i=i: fired.append(i))
+    scheduler.run(stop_when=lambda: len(fired) >= 64, check_every=64)
+    assert len(fired) == 64
+
+
+def test_timer_cancellation():
+    scheduler = Scheduler(seed=1)
+    fired = []
+    timer = scheduler.set_timer(5.0, lambda: fired.append("t"))
+    assert timer.active
+    timer.cancel()
+    scheduler.run()
+    assert fired == []
+    assert not timer.active
+
+
+def test_stop_requested_inside_event():
+    scheduler = Scheduler(seed=1)
+    fired = []
+    scheduler.call_at(1.0, lambda: (fired.append(1), scheduler.stop()))
+    scheduler.call_at(2.0, lambda: fired.append(2))
+    scheduler.run()
+    assert fired == [1]
+
+
+def test_determinism_same_seed_same_draws():
+    draws_a = Scheduler(seed=42).rng.random()
+    draws_b = Scheduler(seed=42).rng.random()
+    assert draws_a == draws_b
+
+
+def test_child_rng_independent_and_deterministic():
+    scheduler_a = Scheduler(seed=42)
+    scheduler_b = Scheduler(seed=42)
+    assert scheduler_a.child_rng("net").random() == scheduler_b.child_rng("net").random()
+    assert scheduler_a.child_rng("net").random() != scheduler_a.child_rng("coin").random()
+
+
+def test_events_processed_counter():
+    scheduler = Scheduler(seed=1)
+    for i in range(5):
+        scheduler.call_at(float(i), lambda: None)
+    scheduler.run()
+    assert scheduler.events_processed == 5
+
+
+def test_drain_returns_count():
+    scheduler = Scheduler(seed=1)
+    for i in range(7):
+        scheduler.call_at(float(i), lambda: None)
+    assert scheduler.drain() == 7

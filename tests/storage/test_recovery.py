@@ -1,0 +1,169 @@
+"""Tests for the safety journal and crash recovery."""
+
+import pytest
+
+from repro.analysis.safety import assert_cluster_safety
+from repro.core.config import ProtocolConfig
+from repro.faults import byzantine
+from repro.runtime.cluster import ClusterBuilder
+from repro.storage import (
+    DurableReplica,
+    RecoveringReplica,
+    SafetyJournal,
+    SafetySnapshot,
+)
+from repro.types.certificates import Rank
+
+
+# ----------------------------------------------------------------------
+# Journal unit tests
+# ----------------------------------------------------------------------
+def test_journal_roundtrip():
+    journal = SafetyJournal()
+    assert journal.empty
+    assert journal.read() is None
+    snapshot = SafetySnapshot(r_vote=5, rank_lock=Rank(0, False, 3), v_cur=1)
+    journal.write(snapshot)
+    assert not journal.empty
+    restored = journal.read()
+    assert restored.r_vote == 5
+    assert restored.rank_lock == Rank(0, False, 3)
+    assert journal.writes == 1
+
+
+def test_journal_snapshots_are_isolated():
+    journal = SafetyJournal()
+    snapshot = SafetySnapshot(proposed={(0, 1)})
+    journal.write(snapshot)
+    snapshot.proposed.add((0, 2))  # mutating the original must not leak in
+    assert journal.read().proposed == {(0, 1)}
+    restored = journal.read()
+    restored.proposed.add((0, 9))  # nor mutating a read copy
+    assert journal.read().proposed == {(0, 1)}
+
+
+# ----------------------------------------------------------------------
+# Durable replica
+# ----------------------------------------------------------------------
+def durable_factory(**extra):
+    def factory(*args, **kwargs):
+        return DurableReplica(*args, **kwargs, **extra)
+
+    return factory
+
+
+def recovering_factory(**extra):
+    def factory(*args, **kwargs):
+        return RecoveringReplica(*args, **kwargs, **extra)
+
+    return factory
+
+
+def build(replica0_factory, n=4, seed=81, **builder_kwargs):
+    builder = ClusterBuilder(n=n, seed=seed)
+    builder.with_byzantine(0, replica0_factory)  # reuse the slot mechanism
+    return builder.build()
+
+
+def test_durable_replica_journals_votes():
+    cluster = build(durable_factory())
+    cluster.run_until_commits(10, until=5_000)
+    replica = cluster.replicas[0]
+    snapshot = replica.journal.read()
+    assert snapshot.r_vote == replica.safety.r_vote
+    assert snapshot.rank_lock == replica.safety.rank_lock
+    assert replica.journal.writes > 10
+
+
+def test_recovering_replica_rejoins_and_catches_up():
+    cluster = build(recovering_factory(crash_at=30.0, recover_at=60.0))
+    cluster.run(until=300.0)
+    replica = cluster.replicas[0]
+    assert replica.recovered
+    assert not replica.crashed
+    # It rebuilt the committed chain from peers and kept committing.
+    assert replica.ledger.height >= 10
+    others = [cluster.replicas[i] for i in (1, 2, 3)]
+    assert_cluster_safety(others + [replica])
+
+
+def test_recovered_replica_does_not_double_vote():
+    """After recovery, r_vote/rank_lock come from the journal, so the
+    replica never votes for a round it voted for before the crash."""
+    cluster = build(recovering_factory(crash_at=30.0, recover_at=31.0))
+    cluster.run(until=200.0)
+    replica = cluster.replicas[0]
+    snapshot_r_vote_at_recovery = None
+    # The run finished; verify monotone behaviour via the journal.
+    final = replica.journal.read()
+    assert final.r_vote == replica.safety.r_vote
+    assert_cluster_safety([cluster.replicas[i] for i in range(4)])
+
+
+def test_recovered_replica_does_not_equivocate_proposals():
+    """Replica 0 leads rounds 1-4 and 17-20; crash/recover in between must
+    not produce two different proposals for any (view, round)."""
+    proposals = {}
+
+    cluster = build(recovering_factory(crash_at=3.0, recover_at=8.0))
+
+    def watch(sender, receiver, message, time, delay):
+        if sender == 0 and type(message).__name__ == "Proposal":
+            block = message.block
+            key = (block.view, block.round)
+            proposals.setdefault(key, set()).add(block.id)
+
+    cluster.network.add_send_hook(watch)
+    cluster.run(until=200.0)
+    assert cluster.replicas[0].recovered
+    for key, ids in proposals.items():
+        assert len(ids) == 1, f"equivocation at {key}"
+
+
+def test_recovery_during_fallback_restores_vote_maps():
+    from repro.experiments.scenarios import leader_attack_factory
+
+    builder = (
+        ClusterBuilder(n=4, seed=83)
+        .with_byzantine(2, recovering_factory(crash_at=40.0, recover_at=90.0))
+        .with_delay_model_factory(leader_attack_factory())
+    )
+    cluster = builder.build()
+    cluster.run(until=2_000.0)
+    replica = cluster.replicas[2]
+    assert replica.recovered
+    others = [cluster.replicas[i] for i in (0, 1, 3)]
+    assert_cluster_safety(others + [replica])
+    assert cluster.metrics.decisions() > 0
+
+
+def test_recover_at_validation():
+    with pytest.raises(ValueError):
+        build(recovering_factory(crash_at=50.0, recover_at=10.0))
+
+
+def test_state_machine_replays_to_same_state():
+    from repro.ledger.ledger import KVStateMachine
+
+    builder = (
+        ClusterBuilder(n=4, seed=85)
+        .with_state_machine(KVStateMachine)
+        .with_byzantine(1, recovering_factory(crash_at=20.0, recover_at=50.0))
+    )
+    cluster = builder.build()
+    cluster.run(until=300.0)
+    recovered = cluster.replicas[1]
+    reference = cluster.replicas[0]
+    shared_height = min(recovered.ledger.height, reference.ledger.height)
+    assert shared_height > 5
+    # Replayed KV state agrees on the shared committed prefix: compare via
+    # replaying reference's prefix.
+    replay = KVStateMachine()
+    for record in reference.ledger.records[:shared_height]:
+        for tx in record.block.batch:
+            replay.apply(tx)
+    mine = KVStateMachine()
+    for record in recovered.ledger.records[:shared_height]:
+        for tx in record.block.batch:
+            mine.apply(tx)
+    assert mine.data == replay.data

@@ -1,0 +1,44 @@
+"""Tests for the baselines package."""
+
+from repro.baselines import AlwaysFallbackReplica, always_fallback_cluster
+from repro.core.config import ProtocolConfig, ProtocolVariant
+from repro.net.conditions import AsynchronousDelay
+
+
+def test_always_fallback_cluster_builds_and_runs():
+    cluster = always_fallback_cluster(n=4, seed=3)
+    result = cluster.run_until_commits(6, until=30_000)
+    assert result.decisions >= 6
+    assert cluster.metrics.fallback_count() >= 3  # one fallback per decision wave
+    assert cluster.metrics.phase_messages()["steady"] == 0  # no fast path
+
+
+def test_always_fallback_replica_forces_variant():
+    from repro.core.context import SharedSetup
+    from repro.net.network import Network
+    from repro.sim.scheduler import Scheduler
+
+    config = ProtocolConfig(n=4)  # deliberately the wrong variant
+    scheduler = Scheduler(seed=1)
+    network = Network(scheduler)
+    setup = SharedSetup.deal(config)
+    replica = AlwaysFallbackReplica(
+        0, config, setup.context_for(0), network, scheduler
+    )
+    assert replica.config.variant == ProtocolVariant.ALWAYS_FALLBACK
+    assert replica.fallback is not None
+
+
+def test_always_fallback_live_under_asynchrony():
+    cluster = always_fallback_cluster(
+        n=4, seed=5,
+        delay_model=AsynchronousDelay(base_delay=1.0, tail_scale=4.0, max_delay=40.0),
+    )
+    result = cluster.run_until_commits(5, until=60_000)
+    assert result.decisions >= 5
+
+
+def test_config_overrides_pass_through():
+    cluster = always_fallback_cluster(n=7, seed=1, batch_size=3)
+    assert cluster.config.batch_size == 3
+    assert cluster.config.n == 7

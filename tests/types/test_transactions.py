@@ -1,0 +1,41 @@
+"""Tests for transactions and batches."""
+
+from repro.types.transactions import (
+    EMPTY_BATCH,
+    Batch,
+    Transaction,
+    make_transaction,
+)
+
+
+def test_make_transaction_defaults():
+    tx = make_transaction(3, client=1)
+    assert tx.tx_id == "tx-1-3"
+    assert tx.payload == "cmd:3"
+    assert tx.client == 1
+
+
+def test_transaction_wire_size():
+    tx = Transaction(tx_id="t", payload_size=100)
+    assert tx.wire_size() == 140
+
+
+def test_batch_digest_depends_on_order_and_content():
+    a, b = make_transaction(1), make_transaction(2)
+    assert Batch.of([a, b]).digest != Batch.of([b, a]).digest
+    assert Batch.of([a]).digest != Batch.of([b]).digest
+    assert Batch.of([a, b]).digest == Batch.of([a, b]).digest
+
+
+def test_batch_len_iter_and_size():
+    txs = [make_transaction(i, payload_size=10) for i in range(3)]
+    batch = Batch.of(txs)
+    assert len(batch) == 3
+    assert list(batch) == txs
+    assert batch.wire_size() == 3 * (40 + 10)
+
+
+def test_empty_batch():
+    assert len(EMPTY_BATCH) == 0
+    assert EMPTY_BATCH.wire_size() == 0
+    assert EMPTY_BATCH.digest == Batch().digest

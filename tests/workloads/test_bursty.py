@@ -1,0 +1,69 @@
+"""Tests for bursty and skewed workloads."""
+
+import pytest
+
+from repro.mempool.mempool import Mempool
+from repro.sim.scheduler import Scheduler
+from repro.workloads.bursty import BurstyWorkload, SkewedKeyWorkload
+
+
+def pools(n=2):
+    return [Mempool(batch_size=10) for _ in range(n)]
+
+
+def test_bursts_arrive_on_schedule():
+    scheduler = Scheduler(seed=1)
+    workload = BurstyWorkload(pools(), burst_size=5, period=10.0, bursts=3)
+    workload.start(scheduler)
+    assert len(workload.submitted) == 5  # first burst at t=0
+    scheduler.run(until=10.5)
+    assert len(workload.submitted) == 10
+    scheduler.run(until=100.0)
+    assert len(workload.submitted) == 15  # capped at `bursts`
+
+
+def test_burst_timestamps_cluster():
+    scheduler = Scheduler(seed=1)
+    workload = BurstyWorkload(pools(), burst_size=4, period=7.0, bursts=2)
+    workload.start(scheduler)
+    scheduler.run(until=20.0)
+    times = sorted({tx.submitted_at for tx in workload.submitted})
+    assert times == [0.0, 7.0]
+
+
+def test_bursty_validation():
+    with pytest.raises(ValueError):
+        BurstyWorkload(pools(), burst_size=0)
+    with pytest.raises(ValueError):
+        BurstyWorkload(pools(), period=0.0)
+    with pytest.raises(ValueError):
+        BurstyWorkload(pools(), bursts=0)
+
+
+def test_skewed_keys_are_skewed():
+    workload = SkewedKeyWorkload(pools(), count=2000, keys=32, seed=3)
+    workload.start(Scheduler(seed=1))
+    counts = {}
+    for tx in workload.submitted:
+        key = tx.payload.split()[1]
+        counts[key] = counts.get(key, 0) + 1
+    ranked = sorted(counts.values(), reverse=True)
+    # Head keys dominate tail keys by a wide margin (Zipf-ish).
+    assert ranked[0] > 4 * ranked[-1]
+    assert len(counts) > 10  # but the tail is still exercised
+
+
+def test_skewed_workload_is_deterministic():
+    workload_a = SkewedKeyWorkload(pools(), count=50, seed=9)
+    workload_a.start(Scheduler(seed=1))
+    workload_b = SkewedKeyWorkload(pools(), count=50, seed=9)
+    workload_b.start(Scheduler(seed=1))
+    assert [tx.payload for tx in workload_a.submitted] == [
+        tx.payload for tx in workload_b.submitted
+    ]
+
+
+def test_skewed_payloads_are_kv_commands():
+    workload = SkewedKeyWorkload(pools(), count=5, seed=1)
+    workload.start(Scheduler(seed=1))
+    assert all(tx.payload.startswith("set key-") for tx in workload.submitted)

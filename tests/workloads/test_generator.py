@@ -1,0 +1,74 @@
+"""Tests for workload generators."""
+
+import pytest
+
+from repro.mempool.mempool import Mempool
+from repro.sim.scheduler import Scheduler
+from repro.workloads.generator import ClosedLoopWorkload, OpenLoopWorkload, Workload
+
+
+def pools(n=3, batch=10):
+    return [Mempool(batch_size=batch) for _ in range(n)]
+
+
+def test_preload_workload_fills_all_mempools():
+    mempools = pools()
+    workload = Workload(mempools, count=10)
+    workload.start(Scheduler(seed=1))
+    for pool in mempools:
+        assert len(pool) == 10
+    assert len(workload.submitted) == 10
+
+
+def test_payloads_are_kv_commands_by_default():
+    mempools = pools()
+    workload = Workload(mempools, count=1)
+    workload.start(Scheduler(seed=1))
+    assert workload.submitted[0].payload.startswith("set key-")
+
+
+def test_custom_payload_fn():
+    mempools = pools()
+    workload = Workload(mempools, count=2, payload_fn=lambda c, i: f"op {c} {i}")
+    workload.start(Scheduler(seed=1))
+    assert workload.submitted[1].payload == "op 0 1"
+
+
+def test_open_loop_injects_at_rate():
+    mempools = pools()
+    scheduler = Scheduler(seed=1)
+    workload = OpenLoopWorkload(mempools, rate=10.0)  # one every 0.1s
+    workload.start(scheduler)
+    scheduler.run(until=1.0)
+    # ~11 injections in [0, 1.0] at 10/s starting at t=0.
+    assert 9 <= len(workload.submitted) <= 12
+    assert all(tx.submitted_at <= 1.0 for tx in workload.submitted)
+
+
+def test_open_loop_max_count():
+    mempools = pools()
+    scheduler = Scheduler(seed=1)
+    workload = OpenLoopWorkload(mempools, rate=1000.0, max_count=5)
+    workload.start(scheduler)
+    scheduler.run(until=10.0)
+    assert len(workload.submitted) == 5
+
+
+def test_open_loop_rejects_bad_rate():
+    with pytest.raises(ValueError):
+        OpenLoopWorkload(pools(), rate=0.0)
+
+
+def test_closed_loop_replenishes_on_commit():
+    mempools = pools()
+    scheduler = Scheduler(seed=1)
+    workload = ClosedLoopWorkload(mempools, outstanding=3)
+    workload.start(scheduler)
+    assert len(workload.submitted) == 3
+    workload.notify_committed(workload.submitted[0])
+    assert len(workload.submitted) == 4
+    # Commits from other clients are ignored.
+    other = workload.submitted[0]
+    foreign = type(other)(tx_id="x", client=99, payload="", payload_size=1)
+    workload.notify_committed(foreign)
+    assert len(workload.submitted) == 4
