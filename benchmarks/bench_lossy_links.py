@@ -1,0 +1,95 @@
+"""E11 — the cost of a lossy transport.
+
+The paper assumes reliable authenticated links; this bench quantifies what
+buying that assumption back costs when the wire misbehaves.  A loss-rate
+sweep (i.i.d. drop 0%..30%, plus a bursty Gilbert–Elliott point) runs the
+protocol over the reliable-channel layer and reports goodput (decisions per
+simulated second) next to the channel's overhead — retransmissions, ack
+bytes, duplicates suppressed — which the metrics layer accounts separately
+from protocol traffic.
+"""
+
+import pytest
+
+from repro.analysis.safety import check_cluster_safety
+from repro.net.loss import BurstLoss, IIDLoss, NoLoss
+from repro.runtime.cluster import ClusterBuilder
+
+N = 4
+RUN_FOR = 300.0
+
+HEADERS = [
+    "loss model",
+    "decisions/s",
+    "msgs/decision",
+    "retransmits",
+    "dups suppressed",
+    "ack kB",
+    "safe",
+]
+TITLE = f"Goodput and channel overhead on a lossy wire (n={N}, {RUN_FOR:.0f}s)"
+
+
+def run_lossy(loss, seed=15):
+    cluster = (
+        ClusterBuilder(n=N, seed=seed)
+        .with_preload(10_000)
+        .with_loss_model(loss)
+        .build()
+    )
+    cluster.run(until=RUN_FOR)
+    return cluster
+
+
+def add_report_row(report, label, cluster):
+    metrics = cluster.metrics
+    violations = check_cluster_safety(cluster.honest_replicas())
+    messages_per_decision = metrics.messages_per_decision()
+    table = report.table("lossy-links", headers=HEADERS, title=TITLE)
+    table.add_row(
+        label,
+        f"{metrics.decisions() / RUN_FOR:.2f}",
+        f"{messages_per_decision:.1f}" if messages_per_decision else "-",
+        metrics.retransmissions,
+        metrics.duplicates_suppressed,
+        f"{metrics.ack_bytes / 1024:.1f}",
+        "yes" if not violations else "NO",
+    )
+    return violations
+
+
+@pytest.mark.parametrize("drop", [0.0, 0.1, 0.2, 0.3])
+def test_goodput_vs_iid_loss_rate(benchmark, report, drop):
+    loss = IIDLoss(drop=drop, duplicate=0.05) if drop else NoLoss()
+    cluster = benchmark.pedantic(lambda: run_lossy(loss), rounds=1, iterations=1)
+    label = f"iid drop={drop:.0%} dup=5%" if drop else "no loss"
+    violations = add_report_row(report, label, cluster)
+    benchmark.extra_info["decisions"] = cluster.metrics.decisions()
+    benchmark.extra_info["retransmissions"] = cluster.metrics.retransmissions
+    assert cluster.metrics.decisions() > 0
+    assert not violations
+    assert cluster.network.untyped_messages == 0
+
+
+def test_goodput_under_bursty_loss(benchmark, report):
+    loss = BurstLoss(p_enter_bad=0.05, p_exit_bad=0.25, bad_drop=0.9)
+    cluster = benchmark.pedantic(lambda: run_lossy(loss), rounds=1, iterations=1)
+    violations = add_report_row(report, "burst (GE, 90% in bad)", cluster)
+    assert cluster.metrics.decisions() > 0
+    assert not violations
+
+
+def test_channel_overhead_is_not_billed_as_goodput(benchmark, report):
+    """The per-decision message count under loss counts only protocol
+    traffic: channel frames never leak into the per-type goodput stats."""
+    cluster = benchmark.pedantic(
+        lambda: run_lossy(IIDLoss(drop=0.2, duplicate=0.05)), rounds=1, iterations=1
+    )
+    assert "DataPacket" not in cluster.metrics.message_counts
+    assert "AckPacket" not in cluster.metrics.message_counts
+    assert cluster.metrics.retransmissions > 0
+    report.note(
+        "lossy-links",
+        "retransmit/ack traffic is accounted in separate counters, never in "
+        "msgs/decision",
+    )

@@ -77,6 +77,10 @@ class _PendingRequest:
     submitted_at: float
     #: replica -> (position, block_id) replies received so far.
     replies: dict[int, tuple[int, str]] = field(default_factory=dict)
+    #: retransmissions issued so far (drives exponential backoff).
+    attempts: int = 0
+    #: absolute time of the next retransmission.
+    next_retry_at: float = 0.0
 
 
 class Client(Process):
@@ -89,7 +93,15 @@ class Client(Process):
         replica_ids: where to broadcast requests.
         outstanding: requests kept in flight.
         total: stop after this many confirmations (0 = unbounded).
-        retransmit_interval: re-broadcast unconfirmed requests this often.
+        retransmit_interval: base interval before the first retransmission
+            of an unconfirmed request.  ``None`` picks a default derived
+            from the cluster's timeout config when built through
+            :class:`~repro.runtime.cluster.ClusterBuilder` (2x the round
+            timeout), else 10.0.
+        retransmit_backoff: per-request multiplicative backoff applied to
+            the interval on every retransmission (1.0 = fixed interval).
+        retransmit_cap: ceiling on the per-request interval (default: 8x
+            the base interval).
     """
 
     def __init__(
@@ -102,7 +114,9 @@ class Client(Process):
         outstanding: int = 5,
         total: int = 0,
         payload_size: int = 100,
-        retransmit_interval: float = 30.0,
+        retransmit_interval: Optional[float] = None,
+        retransmit_backoff: float = 2.0,
+        retransmit_cap: Optional[float] = None,
     ) -> None:
         super().__init__(process_id, scheduler)
         self.network = network
@@ -111,7 +125,19 @@ class Client(Process):
         self.outstanding = outstanding
         self.total = total
         self.payload_size = payload_size
-        self.retransmit_interval = retransmit_interval
+        self.retransmit_interval = (
+            retransmit_interval if retransmit_interval is not None else 10.0
+        )
+        if self.retransmit_interval <= 0:
+            raise ValueError("retransmit_interval must be positive")
+        if retransmit_backoff < 1.0:
+            raise ValueError("retransmit_backoff must be >= 1.0")
+        self.retransmit_backoff = retransmit_backoff
+        self.retransmit_cap = (
+            retransmit_cap
+            if retransmit_cap is not None
+            else 8.0 * self.retransmit_interval
+        )
         self.pending: dict[str, _PendingRequest] = {}
         self.confirmations: list[Confirmation] = []
         self.retransmissions = 0
@@ -123,16 +149,32 @@ class Client(Process):
     def on_start(self) -> None:
         for _ in range(self.outstanding):
             self._submit_next()
-        self.set_timer(RETRANSMIT_TIMER, self.retransmit_interval)
+        self._arm_retransmit_timer()
+
+    def _retry_delay(self, attempts: int) -> float:
+        return min(
+            self.retransmit_interval * self.retransmit_backoff**attempts,
+            self.retransmit_cap,
+        )
+
+    def _arm_retransmit_timer(self) -> None:
+        if self.pending:
+            next_at = min(request.next_retry_at for request in self.pending.values())
+            self.set_timer(RETRANSMIT_TIMER, max(next_at - self.now, 1e-6))
+        elif not self._done():
+            self.set_timer(RETRANSMIT_TIMER, self.retransmit_interval)
 
     def on_timer(self, name: str) -> None:
         if name != RETRANSMIT_TIMER:
             return
         for request in self.pending.values():
+            if request.next_retry_at > self.now:
+                continue
             self.retransmissions += 1
             self._broadcast(request.transaction)
-        if self.pending or not self._done():
-            self.set_timer(RETRANSMIT_TIMER, self.retransmit_interval)
+            request.attempts += 1
+            request.next_retry_at = self.now + self._retry_delay(request.attempts)
+        self._arm_retransmit_timer()
 
     # ------------------------------------------------------------------
     # Submission
@@ -153,7 +195,9 @@ class Client(Process):
             submitted_at=self.now,
         )
         self.pending[transaction.tx_id] = _PendingRequest(
-            transaction=transaction, submitted_at=self.now
+            transaction=transaction,
+            submitted_at=self.now,
+            next_retry_at=self.now + self.retransmit_interval,
         )
         self._broadcast(transaction)
 

@@ -12,6 +12,14 @@ by the configured variant:
 The ALWAYS_FALLBACK variant (VABA/ACE-style quadratic baseline) reuses the
 fallback engine but never runs the fast path: every view starts with an
 immediate timeout.
+
+Transport contract: a replica only ever calls ``network.send`` /
+``network.multicast`` and receives via :meth:`Process.deliver`.  It assumes
+the paper's reliable authenticated links.  When the simulation withdraws
+that assumption (a :class:`~repro.net.loss.LossModel` is installed), the
+:class:`~repro.net.reliable.ReliableNetwork` channel layer restores
+exactly-once-per-retransmission-window delivery *underneath* this class —
+replica logic is byte-for-byte independent of the transport in play.
 """
 
 from __future__ import annotations

@@ -1,9 +1,20 @@
-"""Byzantine fault injection."""
+"""Byzantine fault injection and chaos scheduling."""
 
 from repro.faults.advanced import (
     EquivocatingFallbackProposer,
     Flooder,
     LazyVoter,
+)
+from repro.faults.schedule import (
+    FaultSchedule,
+    clear_loss,
+    crash,
+    heal,
+    inject,
+    partition,
+    recover,
+    set_delay,
+    set_loss,
 )
 from repro.faults.twins import TwinPair, twin_pair_factory
 from repro.faults.behaviors import (
@@ -20,6 +31,7 @@ __all__ = [
     "CrashReplica",
     "EquivocatingFallbackProposer",
     "EquivocatingLeader",
+    "FaultSchedule",
     "Flooder",
     "LazyVoter",
     "NonVoter",
@@ -28,5 +40,13 @@ __all__ = [
     "TwinPair",
     "WithholdingLeader",
     "byzantine",
+    "clear_loss",
+    "crash",
+    "heal",
+    "inject",
+    "partition",
+    "recover",
+    "set_delay",
+    "set_loss",
     "twin_pair_factory",
 ]

@@ -1,0 +1,263 @@
+"""Composable chaos-injection schedules.
+
+A :class:`FaultSchedule` scripts timed fault events against a running
+cluster: loss-rate changes, partitions and heals, crash/recover of
+replicas, and delay-model swaps.  Events compose — a partition layered on
+20% i.i.d. loss keeps the loss on intra-partition traffic, and healing
+restores exactly the loss model that was active before the split.
+
+Usage::
+
+    schedule = (
+        FaultSchedule()
+        .at(10.0, set_loss(IIDLoss(drop=0.2)))
+        .at(30.0, partition([[0, 1], [2, 3]]))
+        .at(60.0, heal())
+        .at(80.0, crash(2))
+        .at(120.0, recover(2))
+        .at(150.0, clear_loss())
+    )
+    cluster = (
+        ClusterBuilder(n=4, seed=7)
+        .with_honest_factory(2, RecoveringReplica.factory())
+        .with_fault_schedule(schedule)
+        .build()
+    )
+
+Any schedule containing loss events forces the builder onto
+:class:`~repro.net.reliable.ReliableNetwork`, so the protocol keeps its
+reliable-link abstraction while the transport misbehaves.  Applied events
+are recorded on ``cluster.fault_log`` for post-run inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.net.conditions import DelayModel
+from repro.net.loss import LossModel, NoLoss, PartitionLoss
+
+
+class FaultAction:
+    """One scripted intervention.  Subclasses override :meth:`apply`."""
+
+    #: True for actions that make the transport lossy (the builder then
+    #: must install reliable channels to preserve protocol guarantees).
+    needs_reliable_channels = False
+
+    def apply(self, runtime: "ScheduleRuntime") -> None:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class SetLoss(FaultAction):
+    """Install a loss model (replacing the current one)."""
+
+    needs_reliable_channels = True
+
+    def __init__(self, model: LossModel) -> None:
+        self.model = model
+
+    def apply(self, runtime: "ScheduleRuntime") -> None:
+        runtime.cluster.network.set_loss_model(self.model)
+
+    def describe(self) -> str:
+        return f"set-loss({self.model.describe()})"
+
+
+class SetDelay(FaultAction):
+    """Install a delay model (replacing the current one)."""
+
+    def __init__(self, model: DelayModel) -> None:
+        self.model = model
+
+    def apply(self, runtime: "ScheduleRuntime") -> None:
+        runtime.cluster.network.set_delay_model(self.model)
+
+    def describe(self) -> str:
+        return f"set-delay({self.model.describe()})"
+
+
+class Partition(FaultAction):
+    """Drop all cross-group traffic, layered over the active loss model."""
+
+    needs_reliable_channels = True
+
+    def __init__(self, groups: Sequence[Sequence[int]]) -> None:
+        self.groups = [list(group) for group in groups]
+
+    def apply(self, runtime: "ScheduleRuntime") -> None:
+        network = runtime.cluster.network
+        runtime.partition_stack.append(network.loss_model)
+        network.set_loss_model(PartitionLoss(self.groups, base=network.loss_model))
+
+    def describe(self) -> str:
+        return f"partition({self.groups})"
+
+
+class Heal(FaultAction):
+    """Undo the most recent partition, restoring the prior loss model."""
+
+    needs_reliable_channels = True
+
+    def apply(self, runtime: "ScheduleRuntime") -> None:
+        if not runtime.partition_stack:
+            raise ValueError("heal() without a preceding partition()")
+        runtime.cluster.network.set_loss_model(runtime.partition_stack.pop())
+
+    def describe(self) -> str:
+        return "heal"
+
+
+class Crash(FaultAction):
+    """Crash a replica (it stops processing input and firing timers)."""
+
+    def __init__(self, replica_id: int) -> None:
+        self.replica_id = replica_id
+
+    def apply(self, runtime: "ScheduleRuntime") -> None:
+        runtime.cluster.replicas[self.replica_id].crash()
+
+    def describe(self) -> str:
+        return f"crash({self.replica_id})"
+
+
+class Recover(FaultAction):
+    """Recover a previously crashed replica.
+
+    The replica must support recovery — build it with
+    ``ClusterBuilder.with_honest_factory(i, RecoveringReplica.factory())``
+    (journaled safety state; volatile state rebuilt via catch-up sync).
+    """
+
+    def __init__(self, replica_id: int) -> None:
+        self.replica_id = replica_id
+
+    def apply(self, runtime: "ScheduleRuntime") -> None:
+        replica = runtime.cluster.replicas[self.replica_id]
+        recover = getattr(replica, "recover", None)
+        if not callable(recover):
+            raise TypeError(
+                f"replica {self.replica_id} ({type(replica).__name__}) cannot "
+                "recover; build it from RecoveringReplica.factory()"
+            )
+        recover()
+
+    def describe(self) -> str:
+        return f"recover({self.replica_id})"
+
+
+class Inject(FaultAction):
+    """Escape hatch: run an arbitrary callable against the cluster."""
+
+    def __init__(self, fn: Callable[["Cluster"], None], label: str = "") -> None:
+        self.fn = fn
+        self.label = label
+
+    def apply(self, runtime: "ScheduleRuntime") -> None:
+        self.fn(runtime.cluster)
+
+    def describe(self) -> str:
+        return f"inject({self.label or getattr(self.fn, '__name__', '?')})"
+
+
+# ----------------------------------------------------------------------
+# DSL constructors
+# ----------------------------------------------------------------------
+def set_loss(model: LossModel) -> SetLoss:
+    return SetLoss(model)
+
+
+def clear_loss() -> SetLoss:
+    return SetLoss(NoLoss())
+
+
+def set_delay(model: DelayModel) -> SetDelay:
+    return SetDelay(model)
+
+
+def partition(groups: Sequence[Sequence[int]]) -> Partition:
+    return Partition(groups)
+
+
+def heal() -> Heal:
+    return Heal()
+
+
+def crash(replica_id: int) -> Crash:
+    return Crash(replica_id)
+
+
+def recover(replica_id: int) -> Recover:
+    return Recover(replica_id)
+
+
+def inject(fn: Callable, label: str = "") -> Inject:
+    return Inject(fn, label=label)
+
+
+# ----------------------------------------------------------------------
+# The schedule itself
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultEvent:
+    time: float
+    action: FaultAction
+
+    def describe(self) -> str:
+        return f"t={self.time}: {self.action.describe()}"
+
+
+@dataclass
+class ScheduleRuntime:
+    """Mutable state shared by a schedule's events during one run."""
+
+    cluster: "Cluster"
+    partition_stack: list[LossModel] = field(default_factory=list)
+    applied: list[tuple[float, str]] = field(default_factory=list)
+
+
+class FaultSchedule:
+    """An ordered script of timed fault events (see module docstring)."""
+
+    def __init__(self, events: Sequence[FaultEvent] = ()) -> None:
+        self.events: list[FaultEvent] = list(events)
+
+    def at(self, time: float, action: FaultAction) -> "FaultSchedule":
+        """Append an event; returns self for chaining."""
+        if time < 0:
+            raise ValueError("fault events cannot be scheduled before time 0")
+        if not isinstance(action, FaultAction):
+            raise TypeError(f"expected a FaultAction, got {type(action).__name__}")
+        self.events.append(FaultEvent(time=time, action=action))
+        return self
+
+    @property
+    def needs_reliable_channels(self) -> bool:
+        return any(event.action.needs_reliable_channels for event in self.events)
+
+    def install(self, cluster: "Cluster") -> ScheduleRuntime:
+        """Schedule every event on the cluster's scheduler (idempotent per
+        builder: call once, at build time)."""
+        runtime = ScheduleRuntime(cluster=cluster)
+        for event in sorted(self.events, key=lambda e: e.time):
+            cluster.scheduler.call_at(
+                event.time,
+                lambda event=event: self._apply(runtime, event),
+                label=f"fault:{event.action.describe()}",
+            )
+        return runtime
+
+    @staticmethod
+    def _apply(runtime: ScheduleRuntime, event: FaultEvent) -> None:
+        event.action.apply(runtime)
+        runtime.applied.append((runtime.cluster.scheduler.now, event.action.describe()))
+        runtime.cluster.fault_log.append(
+            (runtime.cluster.scheduler.now, event.action.describe())
+        )
+
+    def describe(self) -> str:
+        return "; ".join(event.describe() for event in sorted(self.events, key=lambda e: e.time))

@@ -1,13 +1,18 @@
-"""Simulated network: reliable authenticated channels under adversarial delay.
+"""Simulated network: authenticated channels under adversarial delay and loss.
 
-The adversary controls message *delays* (never integrity, authenticity or
-eventual delivery — channels are reliable).  Delay models implement the
-paper's three network regimes:
+The adversary controls message *delays* (never integrity or authenticity)
+and — when a loss model is installed — *delivery*.  Delay models implement
+the paper's three network regimes:
 
 - synchrony: every delay ≤ Δ,
 - asynchrony: finite but unbounded/adversarial delays (including the
   leader-targeting scheduler that breaks partially synchronous protocols),
 - partial synchrony: asynchronous until GST, synchronous after.
+
+Loss models (drop, duplication, bursts, partitions) withdraw the paper's
+reliable-link assumption; :class:`ReliableNetwork` restores it with
+sequence numbers, acks and retransmission, so the protocol layer stays
+written against reliable links either way.
 """
 
 from repro.net.conditions import (
@@ -20,19 +25,40 @@ from repro.net.conditions import (
     SynchronousDelay,
 )
 from repro.net.bandwidth import BandwidthDelay
+from repro.net.loss import (
+    BurstLoss,
+    IIDLoss,
+    LossModel,
+    NoLoss,
+    PartitionLoss,
+    ScheduledLoss,
+    TargetedLoss,
+)
 from repro.net.network import Network
+from repro.net.reliable import AckPacket, ChannelConfig, DataPacket, ReliableNetwork
 from repro.net.topology import CrossRegionDelay, evenly_spread_regions
 
 __all__ = [
+    "AckPacket",
     "AsynchronousDelay",
     "BandwidthDelay",
-    "DelayModel",
-    "LeaderTargetingAdversary",
+    "BurstLoss",
+    "ChannelConfig",
     "CrossRegionDelay",
+    "DataPacket",
+    "DelayModel",
+    "IIDLoss",
+    "LeaderTargetingAdversary",
+    "LossModel",
     "Network",
     "NetworkSchedule",
+    "NoLoss",
     "PartialSynchronyDelay",
     "PartitionDelay",
+    "PartitionLoss",
+    "ReliableNetwork",
+    "ScheduledLoss",
     "SynchronousDelay",
+    "TargetedLoss",
     "evenly_spread_regions",
 ]

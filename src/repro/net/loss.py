@@ -1,0 +1,248 @@
+"""Loss models: the adversary's power over *delivery*, not just delay.
+
+The paper assumes reliable authenticated links, and the rest of the
+codebase keeps that as the provable default (``NoLoss``).  These models
+let experiments drop, duplicate and burst-corrupt traffic the way a real
+transport does; the :class:`~repro.net.reliable.ReliableNetwork` channel
+layer then re-establishes the paper's link guarantees on top.
+
+The interface is a single method: how many *copies* of this message reach
+the wire (0 = dropped, 1 = normal delivery, 2+ = duplicated).  Each copy
+is then delayed independently by the configured
+:class:`~repro.net.conditions.DelayModel`, so every loss model composes
+with every delay model.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional, Sequence
+
+
+class LossModel:
+    """Maps a (sender, receiver, message, time) to a delivered-copy count."""
+
+    def copies(
+        self,
+        sender: int,
+        receiver: int,
+        message: object,
+        now: float,
+        rng: random.Random,
+    ) -> int:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class NoLoss(LossModel):
+    """The paper's model: every message delivered exactly once.
+
+    Consumes no randomness, so a cluster built with ``NoLoss`` behaves
+    identically (event for event) to one built without any loss model.
+    """
+
+    def copies(self, sender, receiver, message, now, rng) -> int:
+        return 1
+
+    def describe(self) -> str:
+        return "no-loss"
+
+
+class IIDLoss(LossModel):
+    """Independent per-message loss and duplication.
+
+    Each message is dropped with probability ``drop``; surviving messages
+    are duplicated with probability ``duplicate`` (an extra copy each,
+    geometrically, capped at ``max_copies`` total).
+    """
+
+    def __init__(
+        self,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        max_copies: int = 3,
+    ) -> None:
+        if not 0.0 <= drop < 1.0:
+            raise ValueError("drop probability must be in [0, 1)")
+        if not 0.0 <= duplicate < 1.0:
+            raise ValueError("duplicate probability must be in [0, 1)")
+        if max_copies < 1:
+            raise ValueError("max_copies must be >= 1")
+        self.drop = drop
+        self.duplicate = duplicate
+        self.max_copies = max_copies
+
+    def copies(self, sender, receiver, message, now, rng) -> int:
+        if self.drop and rng.random() < self.drop:
+            return 0
+        count = 1
+        while (
+            count < self.max_copies
+            and self.duplicate
+            and rng.random() < self.duplicate
+        ):
+            count += 1
+        return count
+
+    def describe(self) -> str:
+        return f"iid(drop={self.drop}, dup={self.duplicate})"
+
+
+class BurstLoss(LossModel):
+    """Gilbert–Elliott bursty loss: a two-state Markov chain per link.
+
+    Each ordered (sender, receiver) link is independently in a *good* or
+    *bad* state; per message, the link first transitions (good→bad with
+    ``p_enter_bad``, bad→good with ``p_exit_bad``) and then drops with the
+    state's loss rate.  Mean burst length is ``1 / p_exit_bad`` messages.
+    """
+
+    def __init__(
+        self,
+        p_enter_bad: float = 0.05,
+        p_exit_bad: float = 0.25,
+        good_drop: float = 0.0,
+        bad_drop: float = 0.9,
+    ) -> None:
+        for name, value in (
+            ("p_enter_bad", p_enter_bad),
+            ("p_exit_bad", p_exit_bad),
+            ("good_drop", good_drop),
+            ("bad_drop", bad_drop),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability")
+        if p_exit_bad == 0.0:
+            raise ValueError("p_exit_bad must be positive (bursts must end)")
+        self.p_enter_bad = p_enter_bad
+        self.p_exit_bad = p_exit_bad
+        self.good_drop = good_drop
+        self.bad_drop = bad_drop
+        self._bad_links: set[tuple[int, int]] = set()
+
+    def copies(self, sender, receiver, message, now, rng) -> int:
+        link = (sender, receiver)
+        if link in self._bad_links:
+            if rng.random() < self.p_exit_bad:
+                self._bad_links.discard(link)
+        elif rng.random() < self.p_enter_bad:
+            self._bad_links.add(link)
+        drop = self.bad_drop if link in self._bad_links else self.good_drop
+        if drop and rng.random() < drop:
+            return 0
+        return 1
+
+    def describe(self) -> str:
+        return f"burst(enter={self.p_enter_bad}, exit={self.p_exit_bad})"
+
+
+#: Predicate selecting the links a targeted model applies to.
+LinkPredicate = Callable[[int, int], bool]
+
+
+class TargetedLoss(LossModel):
+    """Apply a loss model to selected links only; the rest pass through.
+
+    Targets can be given as explicit ordered ``links`` (per-direction:
+    ``(a, b)`` affects only a→b traffic; add ``(b, a)`` for both ways), as
+    per-endpoint ``senders`` / ``receivers`` sets, or as an arbitrary
+    ``predicate``.  A message is targeted if *any* selector matches.
+    """
+
+    def __init__(
+        self,
+        model: LossModel,
+        links: Sequence[tuple[int, int]] = (),
+        senders: Sequence[int] = (),
+        receivers: Sequence[int] = (),
+        predicate: Optional[LinkPredicate] = None,
+        other: Optional[LossModel] = None,
+    ) -> None:
+        if not links and not senders and not receivers and predicate is None:
+            raise ValueError("targeted loss needs at least one selector")
+        self.model = model
+        self.links = frozenset((int(a), int(b)) for a, b in links)
+        self.senders = frozenset(senders)
+        self.receivers = frozenset(receivers)
+        self.predicate = predicate
+        self.other = other or NoLoss()
+
+    def _targeted(self, sender: int, receiver: int) -> bool:
+        if (sender, receiver) in self.links:
+            return True
+        if sender in self.senders or receiver in self.receivers:
+            return True
+        return self.predicate is not None and self.predicate(sender, receiver)
+
+    def copies(self, sender, receiver, message, now, rng) -> int:
+        if self._targeted(sender, receiver):
+            return self.model.copies(sender, receiver, message, now, rng)
+        return self.other.copies(sender, receiver, message, now, rng)
+
+    def describe(self) -> str:
+        return f"targeted({self.model.describe()})"
+
+
+class PartitionLoss(LossModel):
+    """Total loss across partition-group boundaries.
+
+    Unlike :class:`~repro.net.conditions.PartitionDelay` (which *holds*
+    cross-partition messages until a fixed heal time, preserving reliable
+    delivery), this model *drops* them — the realistic transport view.
+    Healing is an external event: swap the model out (see
+    ``faults.schedule.heal``), after which reliable channels retransmit
+    whatever was lost.
+    """
+
+    def __init__(self, groups: Sequence[Sequence[int]], base: Optional[LossModel] = None) -> None:
+        self.group_of: dict[int, int] = {}
+        for index, group in enumerate(groups):
+            for member in group:
+                if member in self.group_of:
+                    raise ValueError(f"replica {member} in two partition groups")
+                self.group_of[member] = index
+        self.base = base or NoLoss()
+
+    def copies(self, sender, receiver, message, now, rng) -> int:
+        if self.group_of.get(sender) != self.group_of.get(receiver):
+            return 0
+        return self.base.copies(sender, receiver, message, now, rng)
+
+    def describe(self) -> str:
+        groups: dict[int, list[int]] = {}
+        for member, index in sorted(self.group_of.items()):
+            groups.setdefault(index, []).append(member)
+        return f"partition-loss{sorted(groups.values())}"
+
+
+class ScheduledLoss(LossModel):
+    """Piecewise loss model: phases of (start_time, model).
+
+    The loss twin of :class:`~repro.net.conditions.NetworkSchedule`; useful
+    to script "clean, then 20% loss, then clean" without the chaos engine.
+    """
+
+    def __init__(self, phases: Sequence[tuple[float, LossModel]]) -> None:
+        if not phases:
+            raise ValueError("schedule needs at least one phase")
+        self.phases = sorted(phases, key=lambda phase: phase[0])
+        if self.phases[0][0] > 0:
+            raise ValueError("first phase must start at time 0")
+
+    def model_at(self, now: float) -> LossModel:
+        current = self.phases[0][1]
+        for start, model in self.phases:
+            if now >= start:
+                current = model
+            else:
+                break
+        return current
+
+    def copies(self, sender, receiver, message, now, rng) -> int:
+        return self.model_at(now).copies(sender, receiver, message, now, rng)
+
+    def describe(self) -> str:
+        parts = ", ".join(f"{start}:{model.describe()}" for start, model in self.phases)
+        return f"loss-schedule[{parts}]"

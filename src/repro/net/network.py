@@ -1,6 +1,6 @@
-"""The simulated network: reliable, authenticated, adversarially delayed.
+"""The simulated network: authenticated, adversarially delayed, optionally lossy.
 
-Guarantees (matching the paper's model):
+Guarantees (matching the paper's model, with the default ``NoLoss``):
 
 - **Reliability**: every message sent between registered processes is
   delivered exactly once (delay models must return finite delays).
@@ -8,8 +8,15 @@ Guarantees (matching the paper's model):
 - **Adversarial scheduling**: per-message delays come from the configured
   :class:`~repro.net.conditions.DelayModel`.
 
-Self-delivery (a replica processing its own multicast) is immediate and not
-counted as network traffic.
+With a :class:`~repro.net.loss.LossModel` installed, the reliability half of
+the contract is *withdrawn*: messages may be dropped or duplicated, and it
+becomes the job of :class:`~repro.net.reliable.ReliableNetwork` to restore
+exactly-once delivery on top.  Loss composes with every delay model: the
+loss model decides how many copies reach the wire, the delay model delays
+each copy independently.
+
+Self-delivery (a replica processing its own multicast) is immediate, not
+counted as network traffic, and never lossy.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.net.conditions import DelayModel, SynchronousDelay
+from repro.net.loss import LossModel, NoLoss
 from repro.sim.process import Process
 from repro.sim.scheduler import Scheduler
 
@@ -25,23 +33,32 @@ SendHook = Callable[[int, int, object, float, float], None]
 
 
 class Network:
-    """Connects :class:`Process` instances through a delay model."""
+    """Connects :class:`Process` instances through delay and loss models."""
 
     def __init__(
         self,
         scheduler: Scheduler,
         delay_model: Optional[DelayModel] = None,
+        loss_model: Optional[LossModel] = None,
         self_delivery_delay: float = 0.0,
     ) -> None:
         self.scheduler = scheduler
         self.delay_model = delay_model or SynchronousDelay()
+        self.loss_model = loss_model or NoLoss()
         self.self_delivery_delay = self_delivery_delay
         self._processes: dict[int, Process] = {}
         self._multicast_group: set[int] = set()
         self._hooks: list[SendHook] = []
         self._rng = scheduler.child_rng("network")
+        self._loss_rng = scheduler.child_rng("network-loss")
         self.messages_sent = 0
         self.bytes_sent = 0
+        #: Messages the loss model removed from the wire entirely.
+        self.messages_dropped = 0
+        #: Extra copies the loss model injected beyond the first.
+        self.duplicates_injected = 0
+        #: Messages billed the 64-byte default because they lack wire_size().
+        self.untyped_messages = 0
 
     # ------------------------------------------------------------------
     # Topology
@@ -62,6 +79,9 @@ class Network:
     def all_process_ids(self) -> list[int]:
         return sorted(self._processes)
 
+    def process(self, process_id: int) -> Process:
+        return self._processes[process_id]
+
     def add_send_hook(self, hook: SendHook) -> None:
         """Register a metrics/trace hook invoked on every network send."""
         self._hooks.append(hook)
@@ -70,15 +90,18 @@ class Network:
         """Swap the delay model mid-run (used for scripted degradation)."""
         self.delay_model = model
 
+    def set_loss_model(self, model: LossModel) -> None:
+        """Swap the loss model mid-run (used by the chaos schedule)."""
+        self.loss_model = model
+
     # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
     def send(self, sender: int, receiver: int, message: object) -> None:
-        """Send one message; schedules its delivery after a modeled delay."""
+        """Send one message; schedules 0..k deliveries per the loss model."""
         target = self._processes.get(receiver)
         if target is None:
             raise KeyError(f"unknown receiver {receiver}")
-        now = self.scheduler.now
         if receiver == sender:
             self.scheduler.call_after(
                 self.self_delivery_delay,
@@ -86,21 +109,58 @@ class Network:
                 label=f"self:{sender}",
             )
             return
+        self._transmit(sender, receiver, message, notify=True)
+
+    def _transmit(
+        self, sender: int, receiver: int, message: object, notify: bool
+    ) -> None:
+        """Shared wire path: bill the send, apply loss, schedule deliveries.
+
+        ``notify=False`` suppresses send hooks (channel-internal traffic —
+        retransmissions and acks — is reported through channel hooks so the
+        metrics layer can separate goodput from overhead).
+        """
+        now = self.scheduler.now
         delay = self.delay_model.delay(sender, receiver, message, now, self._rng)
+        self._check_delay(delay)
+        self.messages_sent += 1
+        size = self._wire_size_of(message)
+        self.bytes_sent += size
+        if notify:
+            for hook in self._hooks:
+                hook(sender, receiver, message, now, delay)
+        copies = self.loss_model.copies(sender, receiver, message, now, self._loss_rng)
+        if copies <= 0:
+            self.messages_dropped += 1
+            return
+        self._schedule_delivery(sender, receiver, message, delay)
+        for _ in range(copies - 1):
+            extra_delay = self.delay_model.delay(
+                sender, receiver, message, now, self._rng
+            )
+            self._check_delay(extra_delay)
+            self.duplicates_injected += 1
+            self._schedule_delivery(sender, receiver, message, extra_delay)
+
+    def _check_delay(self, delay: float) -> None:
         if delay < 0:
             raise ValueError(
                 f"delay model {self.delay_model.describe()} returned negative delay"
             )
-        self.messages_sent += 1
-        size = _wire_size(message)
-        self.bytes_sent += size
-        for hook in self._hooks:
-            hook(sender, receiver, message, now, delay)
+
+    def _schedule_delivery(
+        self, sender: int, receiver: int, message: object, delay: float
+    ) -> None:
         self.scheduler.call_after(
             delay,
-            lambda: target.deliver(sender, message),
+            lambda: self._deliver(sender, receiver, message),
             label=f"msg:{sender}->{receiver}:{type(message).__name__}",
         )
+
+    def _deliver(self, sender: int, receiver: int, message: object) -> None:
+        """Hand an arriving message to its process.  The reliable-channel
+        subclass intercepts here for dedup/ack processing."""
+        self._processes[receiver].deliver(sender, message)
 
     def multicast(self, sender: int, message: object, include_self: bool = True) -> None:
         """Send ``message`` to every registered process (deterministic order)."""
@@ -109,9 +169,17 @@ class Network:
                 continue
             self.send(sender, receiver, message)
 
+    def _wire_size_of(self, message: object) -> int:
+        wire_size = getattr(message, "wire_size", None)
+        if callable(wire_size):
+            return int(wire_size())
+        self.untyped_messages += 1
+        return 64  # conservative default for untyped test messages
+
 
 def _wire_size(message: object) -> int:
+    """Wire size of a message, defaulting untyped ones to 64 bytes."""
     wire_size = getattr(message, "wire_size", None)
     if callable(wire_size):
         return int(wire_size())
-    return 64  # conservative default for untyped test messages
+    return 64

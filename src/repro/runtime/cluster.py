@@ -19,7 +19,9 @@ from repro.core.replica import Replica
 from repro.ledger.ledger import StateMachine
 from repro.mempool.mempool import Mempool
 from repro.net.conditions import DelayModel, SynchronousDelay
+from repro.net.loss import LossModel
 from repro.net.network import Network
+from repro.net.reliable import ChannelConfig, ReliableNetwork
 from repro.runtime.metrics import MetricsCollector
 from repro.sim.process import Process
 from repro.sim.scheduler import Scheduler
@@ -71,6 +73,7 @@ class Cluster:
         workload: Optional[Workload],
         byzantine_ids: Sequence[int],
         clients: Sequence["Client"] = (),
+        fault_schedule: Optional["FaultSchedule"] = None,
     ) -> None:
         self.config = config
         self.scheduler = scheduler
@@ -88,7 +91,12 @@ class Cluster:
             if replica_id not in set(byzantine_ids)
         ]
         self.schedule = LeaderSchedule(config.n, config.leader_rotation_interval)
+        self.fault_schedule = fault_schedule
+        #: (time, description) of every chaos event applied during the run.
+        self.fault_log: list[tuple[float, str]] = []
         self._started = False
+        if fault_schedule is not None:
+            fault_schedule.install(self)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -120,6 +128,9 @@ class Cluster:
 
     def change_network(self, model: DelayModel) -> None:
         self.network.set_delay_model(model)
+
+    def change_loss(self, model: LossModel) -> None:
+        self.network.set_loss_model(model)
 
     # ------------------------------------------------------------------
     # Running
@@ -185,15 +196,33 @@ class ClusterBuilder:
         )
     """
 
-    def __init__(self, n: int = 4, seed: int = 0, config: Optional[ProtocolConfig] = None):
-        self._config = config if config is not None else ProtocolConfig(n=n)
-        if config is not None and config.n != n and n != 4:
-            raise ValueError("pass either n or config, not conflicting both")
+    def __init__(
+        self,
+        n: Optional[int] = None,
+        seed: int = 0,
+        config: Optional[ProtocolConfig] = None,
+    ):
+        if config is not None:
+            # `None` is the "not passed" sentinel: an explicit n that
+            # disagrees with the config is a genuine conflict, never
+            # silently resolved in the config's favor.
+            if n is not None and n != config.n:
+                raise ValueError(
+                    f"conflicting cluster sizes: n={n} but config.n={config.n}"
+                )
+            self._config = config
+        else:
+            self._config = ProtocolConfig(n=n if n is not None else 4)
         self.seed = seed
         self._delay_model: DelayModel = SynchronousDelay()
         self._delay_model_factory: Optional[Callable[["Cluster"], DelayModel]] = None
+        self._loss_model: Optional[LossModel] = None
+        self._reliable_channels: Optional[bool] = None
+        self._channel_config: Optional[ChannelConfig] = None
+        self._fault_schedule: Optional["FaultSchedule"] = None
         self._workload_factory: Optional[Callable[[list[Mempool]], Workload]] = None
         self._byzantine: dict[int, ReplicaFactory] = {}
+        self._honest_factories: dict[int, ReplicaFactory] = {}
         self._state_machine_factory: Optional[Callable[[], StateMachine]] = None
         self._preload_transactions = 200
         self._client_count = 0
@@ -224,6 +253,49 @@ class ClusterBuilder:
         self._delay_model_factory = factory
         return self
 
+    def with_loss_model(self, model: LossModel, reliable: bool = True) -> "ClusterBuilder":
+        """Make the transport lossy.
+
+        By default this also installs the reliable-channel layer so the
+        protocol keeps its reliable-link abstraction; pass
+        ``reliable=False`` to expose raw loss to the replicas (testing
+        protocol-level idempotence / loss tolerance).
+        """
+        self._loss_model = model
+        if self._reliable_channels is None or not reliable:
+            self._reliable_channels = reliable
+        return self
+
+    def with_reliable_channels(
+        self, channel: Optional[ChannelConfig] = None
+    ) -> "ClusterBuilder":
+        """Force the reliable-channel layer on (even without a loss model),
+        optionally with custom retransmission/buffer tuning."""
+        self._reliable_channels = True
+        if channel is not None:
+            self._channel_config = channel
+        return self
+
+    def with_fault_schedule(self, schedule: "FaultSchedule") -> "ClusterBuilder":
+        """Attach a chaos schedule; loss-injecting schedules imply
+        reliable channels (unless explicitly disabled via
+        ``with_loss_model(..., reliable=False)``)."""
+        self._fault_schedule = schedule
+        return self
+
+    def with_honest_factory(
+        self, replica_id: int, factory: ReplicaFactory
+    ) -> "ClusterBuilder":
+        """Use a custom *honest* replica class for one slot (for example
+        ``RecoveringReplica.factory()`` for scheduled crash/recover).  The
+        replica stays in the honest set for metrics and safety checks."""
+        if not 0 <= replica_id < self._config.n:
+            raise ValueError(f"replica id {replica_id} out of range")
+        if replica_id in self._byzantine:
+            raise ValueError(f"replica {replica_id} is already Byzantine")
+        self._honest_factories[replica_id] = factory
+        return self
+
     def with_workload(
         self, factory: Callable[[list[Mempool]], Workload]
     ) -> "ClusterBuilder":
@@ -238,6 +310,8 @@ class ClusterBuilder:
     def with_byzantine(self, replica_id: int, factory: ReplicaFactory) -> "ClusterBuilder":
         if not 0 <= replica_id < self._config.n:
             raise ValueError(f"replica id {replica_id} out of range")
+        if replica_id in self._honest_factories:
+            raise ValueError(f"replica {replica_id} already has an honest factory")
         if len(self._byzantine) >= self._config.f and replica_id not in self._byzantine:
             raise ValueError(
                 f"cannot make more than f={self._config.f} replicas Byzantine"
@@ -264,21 +338,40 @@ class ClusterBuilder:
     # ------------------------------------------------------------------
     # Build
     # ------------------------------------------------------------------
+    def _wants_reliable_channels(self) -> bool:
+        if self._reliable_channels is not None:
+            return self._reliable_channels
+        if self._fault_schedule is not None:
+            return self._fault_schedule.needs_reliable_channels
+        return False
+
     def build(self) -> Cluster:
         config = self._config
         scheduler = Scheduler(seed=self.seed)
-        network = Network(scheduler, self._delay_model)
+        if self._wants_reliable_channels():
+            network: Network = ReliableNetwork(
+                scheduler,
+                self._delay_model,
+                loss_model=self._loss_model,
+                channel=self._channel_config,
+            )
+        else:
+            network = Network(scheduler, self._delay_model, loss_model=self._loss_model)
         setup = SharedSetup.deal(config, coin_seed=self.seed)
         byzantine_ids = sorted(self._byzantine)
         metrics = MetricsCollector(
             honest_ids=[i for i in range(config.n) if i not in self._byzantine]
         )
         network.add_send_hook(metrics.on_send)
+        if isinstance(network, ReliableNetwork):
+            network.add_channel_hook(metrics.on_channel_event)
 
         mempools = [Mempool(batch_size=config.batch_size) for _ in range(config.n)]
         replicas: list[Process] = []
         for replica_id in range(config.n):
-            factory = self._byzantine.get(replica_id, Replica)
+            factory = self._byzantine.get(
+                replica_id, self._honest_factories.get(replica_id, Replica)
+            )
             state_machine = (
                 self._state_machine_factory() if self._state_machine_factory else None
             )
@@ -304,6 +397,10 @@ class ClusterBuilder:
         if self._client_count:
             from repro.client.client import Client
 
+            client_kwargs = dict(self._client_kwargs)
+            # Sane default derived from the cluster's timeout config: one
+            # retransmission per ~2 stalled rounds, not a fixed constant.
+            client_kwargs.setdefault("retransmit_interval", 2.0 * config.round_timeout)
             for offset in range(self._client_count):
                 client = Client(
                     process_id=config.n + offset,
@@ -311,7 +408,7 @@ class ClusterBuilder:
                     network=network,
                     f=config.f,
                     replica_ids=list(range(config.n)),
-                    **self._client_kwargs,
+                    **client_kwargs,
                 )
                 network.register(client, in_multicast_group=False)
                 clients.append(client)
@@ -327,6 +424,7 @@ class ClusterBuilder:
             workload=workload,
             byzantine_ids=byzantine_ids,
             clients=clients,
+            fault_schedule=self._fault_schedule,
         )
         if self._delay_model_factory is not None:
             network.set_delay_model(self._delay_model_factory(cluster))

@@ -74,23 +74,53 @@ class MetricsCollector(ReplicaObserver):
         self.timeouts: list[tuple[int, int, int, float]] = []
         self.round_entries: list[tuple[int, int, float]] = []
         self.proposals = 0
+        # Reliable-channel overhead (populated via on_channel_event when a
+        # lossy transport is in play; all zero in the paper's model).
+        self.retransmissions = 0
+        self.retransmit_bytes = 0
+        self.acks = 0
+        self.ack_bytes = 0
+        self.duplicates_suppressed = 0
+        self.packets_abandoned = 0
         self._committed_positions: dict[int, int] = {}
         #: Callables invoked once per distinct committed transaction.
         self.commit_listeners: list = []
         self._notified_txs: set[str] = set()
 
     # ------------------------------------------------------------------
-    # Network hook
+    # Network hooks
     # ------------------------------------------------------------------
     def on_send(self, sender: int, receiver: int, message: object, time: float, delay: float) -> None:
         if sender not in self.honest_ids:
             return
-        name = type(message).__name__
+        # Bytes are billed at the full frame (channel header included);
+        # classification uses the protocol payload inside a DataPacket so
+        # phase accounting stays comparable with the reliable-link model.
         size = getattr(message, "wire_size", lambda: 64)()
+        payload = getattr(message, "payload", message)
+        name = type(payload).__name__
         self.message_counts[name] += 1
         self.message_bytes[name] += size
         self.honest_messages += 1
         self.honest_bytes += size
+
+    def on_channel_event(
+        self, kind: str, sender: int, receiver: int, packet: object, time: float
+    ) -> None:
+        """Channel hook: retransmit/ack/duplicate/abandon overhead events."""
+        if sender not in self.honest_ids:
+            return
+        size = getattr(packet, "wire_size", lambda: 64)()
+        if kind == "retransmit":
+            self.retransmissions += 1
+            self.retransmit_bytes += size
+        elif kind == "ack":
+            self.acks += 1
+            self.ack_bytes += size
+        elif kind == "duplicate":
+            self.duplicates_suppressed += 1
+        elif kind == "abandon":
+            self.packets_abandoned += 1
 
     # ------------------------------------------------------------------
     # Replica observer hooks
@@ -209,6 +239,9 @@ class MetricsCollector(ReplicaObserver):
             f"honest bytes: {self.honest_bytes}",
             f"messages/decision: {self.messages_per_decision()}",
             f"fallbacks entered: {self.fallback_count()}",
+            f"retransmissions: {self.retransmissions} ({self.retransmit_bytes} bytes)",
+            f"duplicates suppressed: {self.duplicates_suppressed}",
+            f"ack overhead: {self.acks} acks ({self.ack_bytes} bytes)",
         ]
         phases = self.phase_messages()
         lines.append(

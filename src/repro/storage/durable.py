@@ -90,28 +90,58 @@ class DurableReplica(Replica):
 
 
 class RecoveringReplica(DurableReplica):
-    """Crashes, loses volatile state, restores the journal, rejoins."""
+    """Crashes, loses volatile state, restores the journal, rejoins.
+
+    With explicit ``crash_at``/``recover_at`` times, the replica schedules
+    its own crash and recovery.  Pass ``None`` for either (or both) to let
+    an external driver — typically a
+    :class:`~repro.faults.schedule.FaultSchedule` with ``crash(i)`` /
+    ``recover(i)`` events — trigger them instead.
+    """
 
     def __init__(
         self,
         *args,
-        crash_at: float = 50.0,
-        recover_at: float = 100.0,
+        crash_at: Optional[float] = 50.0,
+        recover_at: Optional[float] = 100.0,
         **kwargs,
     ) -> None:
-        if recover_at <= crash_at:
+        if crash_at is not None and recover_at is not None and recover_at <= crash_at:
             raise ValueError("recover_at must be after crash_at")
         super().__init__(*args, **kwargs)
         self.crash_at = crash_at
         self.recover_at = recover_at
         self.recovered = False
 
+    @staticmethod
+    def factory(
+        crash_at: Optional[float] = None,
+        recover_at: Optional[float] = None,
+        **extra,
+    ):
+        """A replica factory for builders and fault schedules.
+
+        ``RecoveringReplica.factory()`` (no times) yields replicas driven
+        purely by schedule-issued ``crash``/``recover`` events.
+        """
+
+        def make(*args, **kwargs):
+            return RecoveringReplica(
+                *args, crash_at=crash_at, recover_at=recover_at, **extra, **kwargs
+            )
+
+        return make
+
     def on_start(self) -> None:
         super().on_start()
-        self.scheduler.call_at(self.crash_at, self.crash, label=f"crash:{self.process_id}")
-        self.scheduler.call_at(
-            self.recover_at, self.recover, label=f"recover:{self.process_id}"
-        )
+        if self.crash_at is not None:
+            self.scheduler.call_at(
+                self.crash_at, self.crash, label=f"crash:{self.process_id}"
+            )
+        if self.recover_at is not None:
+            self.scheduler.call_at(
+                self.recover_at, self.recover, label=f"recover:{self.process_id}"
+            )
 
     def recover(self) -> None:
         """Restart from the journal with fresh volatile state."""

@@ -112,3 +112,60 @@ def test_clients_not_in_multicast_group():
     cluster = build_with_clients(clients=1)
     assert cluster.network.process_ids() == [0, 1, 2, 3]
     assert cluster.network.all_process_ids() == [0, 1, 2, 3, 4]
+
+
+def test_default_retransmit_interval_derives_from_timeout_config():
+    """Built through the cluster, the base interval tracks the protocol's
+    round timeout instead of a hard-coded constant."""
+    cluster = build_with_clients(clients=1)
+    client = cluster.clients[0]
+    assert client.retransmit_interval == 2.0 * cluster.config.round_timeout
+    assert client.retransmit_cap == 8.0 * client.retransmit_interval
+    # An explicit interval still wins.
+    explicit = build_with_clients(clients=1, retransmit_interval=3.0)
+    assert explicit.clients[0].retransmit_interval == 3.0
+
+
+def test_retransmissions_back_off_exponentially():
+    """With replies suppressed, per-request retransmit gaps must grow by
+    the backoff factor until the cap."""
+    cluster = build_with_clients(
+        clients=1,
+        outstanding=1,
+        retransmit_interval=4.0,
+        retransmit_backoff=2.0,
+        retransmit_cap=16.0,
+    )
+    client = cluster.clients[0]
+    sent_at = []
+    original = client._broadcast
+
+    def recording_broadcast(transaction):
+        sent_at.append(client.now)
+        original(transaction)
+
+    client._broadcast = recording_broadcast
+    # Cut the client off from all replies: requests never confirm.
+    client.replica_ids = []
+    cluster.start()
+    cluster.scheduler.run(until=100.0)
+    gaps = [b - a for a, b in zip(sent_at, sent_at[1:])]
+    assert gaps[:3] == pytest.approx([4.0, 8.0, 16.0])
+    assert all(gap == pytest.approx(16.0) for gap in gaps[2:])  # capped
+
+
+def test_backoff_resets_per_request_not_globally():
+    """A confirmed request must not inherit the backoff of earlier ones:
+    each pending request tracks its own attempt count."""
+    cluster = build_with_clients(clients=1, outstanding=2, retransmit_interval=5.0)
+    cluster.run(until=3_000, stop_when=lambda: cluster.total_confirmations() >= 5)
+    assert cluster.total_confirmations() >= 5
+    for request in cluster.clients[0].pending.values():
+        assert request.attempts <= 2  # fresh requests start from zero
+
+
+def test_client_parameter_validation():
+    with pytest.raises(ValueError):
+        build_with_clients(clients=1, retransmit_interval=0.0)
+    with pytest.raises(ValueError):
+        build_with_clients(clients=1, retransmit_backoff=0.5)

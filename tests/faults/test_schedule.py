@@ -1,0 +1,173 @@
+"""Tests for the composable chaos-injection schedule."""
+
+import pytest
+
+from repro.analysis.safety import assert_cluster_safety
+from repro.faults import (
+    FaultSchedule,
+    clear_loss,
+    crash,
+    heal,
+    inject,
+    partition,
+    recover,
+    set_delay,
+    set_loss,
+)
+from repro.net.conditions import SynchronousDelay
+from repro.net.loss import IIDLoss, NoLoss, PartitionLoss
+from repro.net.reliable import ReliableNetwork
+from repro.runtime.cluster import ClusterBuilder
+from repro.storage.durable import RecoveringReplica
+
+
+def build(schedule, seed=17, **builder_calls):
+    builder = ClusterBuilder(n=4, seed=seed).with_fault_schedule(schedule)
+    for method, args in builder_calls.items():
+        getattr(builder, method)(*args)
+    return builder.build()
+
+
+# ----------------------------------------------------------------------
+# Schedule construction
+# ----------------------------------------------------------------------
+def test_at_validates_inputs():
+    schedule = FaultSchedule()
+    with pytest.raises(ValueError):
+        schedule.at(-1.0, crash(0))
+    with pytest.raises(TypeError):
+        schedule.at(1.0, "not an action")
+
+
+def test_loss_events_imply_reliable_channels():
+    assert FaultSchedule().at(1.0, set_loss(IIDLoss(drop=0.1))).needs_reliable_channels
+    assert FaultSchedule().at(1.0, partition([[0], [1, 2, 3]])).needs_reliable_channels
+    assert not FaultSchedule().at(1.0, crash(0)).needs_reliable_channels
+    assert not FaultSchedule().at(1.0, set_delay(SynchronousDelay())).needs_reliable_channels
+
+
+def test_builder_installs_reliable_network_for_lossy_schedules():
+    lossy = build(FaultSchedule().at(5.0, set_loss(IIDLoss(drop=0.1))))
+    assert isinstance(lossy.network, ReliableNetwork)
+    crash_only = build(FaultSchedule().at(5.0, crash(0)))
+    assert not isinstance(crash_only.network, ReliableNetwork)
+
+
+def test_describe_lists_events_in_time_order():
+    schedule = FaultSchedule().at(30.0, heal()).at(10.0, partition([[0, 1], [2, 3]]))
+    description = schedule.describe()
+    assert description.index("partition") < description.index("heal")
+
+
+# ----------------------------------------------------------------------
+# Event application
+# ----------------------------------------------------------------------
+def test_set_loss_and_clear_loss_swap_the_model():
+    schedule = (
+        FaultSchedule()
+        .at(10.0, set_loss(IIDLoss(drop=0.2)))
+        .at(20.0, clear_loss())
+    )
+    cluster = build(schedule)
+    cluster.run(until=15.0)
+    assert isinstance(cluster.network.loss_model, IIDLoss)
+    cluster.run(until=25.0)
+    assert isinstance(cluster.network.loss_model, NoLoss)
+    assert [entry for _, entry in cluster.fault_log] == [
+        "set-loss(iid(drop=0.2, dup=0.0))",
+        "set-loss(no-loss)",
+    ]
+
+
+def test_partition_layers_over_the_active_loss_and_heal_restores_it():
+    base = IIDLoss(drop=0.1)
+    schedule = (
+        FaultSchedule()
+        .at(5.0, set_loss(base))
+        .at(10.0, partition([[0, 1], [2, 3]]))
+        .at(20.0, heal())
+    )
+    cluster = build(schedule)
+    cluster.run(until=15.0)
+    model = cluster.network.loss_model
+    assert isinstance(model, PartitionLoss)
+    assert model.base is base  # loss persists inside each side
+    cluster.run(until=25.0)
+    assert cluster.network.loss_model is base  # heal restores exactly
+    assert_cluster_safety(cluster.honest_replicas())
+
+
+def test_heal_without_partition_raises():
+    cluster = build(FaultSchedule().at(5.0, heal()))
+    with pytest.raises(ValueError):
+        cluster.run(until=10.0)
+
+
+def test_crash_and_recover_drive_a_recovering_replica():
+    schedule = FaultSchedule().at(20.0, crash(2)).at(40.0, recover(2))
+    cluster = build(
+        schedule, with_honest_factory=(2, RecoveringReplica.factory())
+    )
+    cluster.run(until=30.0)
+    assert cluster.replicas[2].crashed
+    cluster.run(until=200.0)
+    assert not cluster.replicas[2].crashed
+    assert cluster.replicas[2].recovered
+    assert cluster.metrics.decisions() > 0
+    assert_cluster_safety(cluster.honest_replicas())
+
+
+def test_recover_requires_a_recovering_replica():
+    cluster = build(FaultSchedule().at(5.0, recover(1)))
+    with pytest.raises(TypeError, match="RecoveringReplica.factory"):
+        cluster.run(until=10.0)
+
+
+def test_set_delay_swaps_the_delay_model():
+    slow = SynchronousDelay(delta=9.0, min_delay=8.0)
+    cluster = build(FaultSchedule().at(10.0, set_delay(slow)))
+    cluster.run(until=15.0)
+    assert cluster.network.delay_model is slow
+
+
+def test_inject_runs_arbitrary_callables():
+    seen = []
+    cluster = build(
+        FaultSchedule().at(5.0, inject(lambda c: seen.append(c), label="probe"))
+    )
+    cluster.run(until=10.0)
+    assert seen == [cluster]
+    assert cluster.fault_log == [(5.0, "inject(probe)")]
+
+
+def test_cluster_stays_live_through_a_full_chaos_script():
+    schedule = (
+        FaultSchedule()
+        .at(10.0, set_loss(IIDLoss(drop=0.15, duplicate=0.05)))
+        .at(25.0, partition([[0, 1], [2, 3]]))
+        .at(45.0, heal())
+        .at(60.0, crash(1))
+        .at(90.0, recover(1))
+        .at(110.0, clear_loss())
+    )
+    cluster = build(
+        schedule, seed=23, with_honest_factory=(1, RecoveringReplica.factory())
+    )
+    result = cluster.run_until_commits(25, until=2_000.0)
+    assert result.decisions >= 25
+    # Let the tail of the script apply if the commit target came early.
+    cluster.run(until=max(120.0, cluster.scheduler.now))
+    assert len(cluster.fault_log) == 6
+    assert_cluster_safety(cluster.honest_replicas())
+
+
+def test_recovering_replica_factory_without_times_never_self_schedules():
+    replica_factory = RecoveringReplica.factory()
+    cluster = (
+        ClusterBuilder(n=4, seed=3)
+        .with_honest_factory(0, replica_factory)
+        .build()
+    )
+    cluster.run(until=200.0)
+    assert not cluster.replicas[0].crashed  # no self-scheduled crash
+    assert cluster.replicas[0].crash_at is None

@@ -83,6 +83,9 @@ def test_soak_oscillating_network(variant):
         assert len(engine._timeout_shares) <= engine.PRUNE_MARGIN + 2
         assert len(engine.fqcs) < 100
 
+    # Every protocol message models its wire size (byte accounting stays real).
+    assert cluster.network.untyped_messages == 0
+
 
 def test_soak_throughput_recovers_each_cycle():
     config = ProtocolConfig(n=4, fallback_adoption=True)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.analysis.safety import assert_cluster_safety
-from repro.core.config import ProtocolConfig
+from repro.core.config import ProtocolConfig, ProtocolVariant
 from repro.runtime.cluster import ClusterBuilder
 from repro.types.certificates import CoinQC, FallbackTC
 from repro.types.messages import CoinQCMessage, FallbackTCMessage
@@ -97,6 +97,84 @@ def test_view_numbers_committed_are_monotone_under_churn():
     for replica in cluster.honest_replicas():
         views = [block.view for block in replica.ledger.committed_blocks()]
         assert views == sorted(views)
+    assert_cluster_safety(cluster.honest_replicas())
+
+
+@pytest.mark.parametrize(
+    "variant", [ProtocolVariant.FALLBACK_3CHAIN, ProtocolVariant.FALLBACK_2CHAIN]
+)
+def test_partition_heals_mid_fallback_and_cluster_recovers(variant):
+    """A 2-2 partition lands *while the fallback is in progress* (neither
+    side can finish it alone: coin-QCs need 2f+1 shares) and heals while
+    it is still stuck; held messages then flood in, and the run must
+    converge — exit the fallback, keep safety, resume committing — under
+    both chain-depth variants."""
+    from repro.net.conditions import PartitionDelay
+
+    config = ProtocolConfig(n=4, variant=variant)
+    cluster = ClusterBuilder(config=config, seed=211).with_preload(300).build()
+    cluster.run_until_commits(3, until=100.0)
+    before = cluster.metrics.decisions()
+    # Drive every replica into the view-change, then wait for fallback entry.
+    for replica in cluster.honest_replicas():
+        replica.fallback.on_local_timeout()
+    cluster.scheduler.run(
+        until=cluster.scheduler.now + 50.0,
+        stop_when=lambda: all(r.fallback_mode for r in cluster.honest_replicas()),
+        check_every=1,
+    )
+    assert all(r.fallback_mode for r in cluster.honest_replicas())
+    # Split 2-2 mid-fallback; PartitionDelay holds cross traffic until heal.
+    heal_at = cluster.scheduler.now + 30.0
+    cluster.change_network(PartitionDelay([[0, 1], [2, 3]], heal_time=heal_at))
+    cluster.run(until=heal_at)
+    assert any(r.fallback_mode for r in cluster.honest_replicas()), (
+        "fallback completed during the partition despite missing quorum"
+    )
+    # The heal releases the held messages; the fallback must now complete.
+    cluster.run_until_commits(before + 8, until=heal_at + 2_000.0)
+    assert cluster.metrics.decisions() >= before + 8
+    exited = [e for e in cluster.metrics.fallback_events if e.kind == "exited"]
+    assert exited, "fallback never exited after the heal"
+    assert_cluster_safety(cluster.honest_replicas())
+
+
+@pytest.mark.parametrize(
+    "variant", [ProtocolVariant.FALLBACK_3CHAIN, ProtocolVariant.FALLBACK_2CHAIN]
+)
+def test_loss_partition_heals_mid_fallback_over_reliable_channels(variant):
+    """Same shape, realistic transport: the partition *drops* cross-group
+    traffic (PartitionLoss via the chaos schedule) instead of holding it,
+    and reliable-channel retransmissions deliver what the split ate."""
+    from repro.faults import FaultSchedule, heal, inject, partition
+
+    def force_timeouts(cluster):
+        for replica in cluster.honest_replicas():
+            replica.fallback.on_local_timeout()
+
+    # Timeouts at 20 put everyone in fallback by ~22 (two message delays);
+    # the partition at 22.5 then strands it until the heal.
+    schedule = (
+        FaultSchedule()
+        .at(20.0, inject(force_timeouts, label="force-timeouts"))
+        .at(22.5, partition([[0, 1], [2, 3]]))
+        .at(55.0, heal())
+    )
+    config = ProtocolConfig(n=4, variant=variant)
+    cluster = (
+        ClusterBuilder(config=config, seed=212)
+        .with_preload(300)
+        .with_fault_schedule(schedule)
+        .build()
+    )
+    cluster.run(until=54.0)
+    entered = [e for e in cluster.metrics.fallback_events if e.kind == "entered"]
+    assert entered, "forced timeouts never drove the cluster into the fallback"
+    assert any(r.fallback_mode for r in cluster.honest_replicas()), (
+        "fallback completed during the partition despite missing quorum"
+    )
+    cluster.run_until_commits(10, until=2_000.0)
+    assert cluster.metrics.decisions() >= 10
     assert_cluster_safety(cluster.honest_replicas())
 
 

@@ -115,6 +115,77 @@ def test_byzantine_id_bounds():
         builder.with_byzantine(7, byzantine(SilentReplica))
 
 
+def test_n_and_matching_config_coexist():
+    config = ProtocolConfig(n=7)
+    cluster = ClusterBuilder(n=7, seed=1, config=config).build()
+    assert cluster.config is config
+    assert len(cluster.replicas) == 7
+
+
+def test_conflicting_n_and_config_raise():
+    with pytest.raises(ValueError, match="conflicting cluster sizes"):
+        ClusterBuilder(n=4, seed=1, config=ProtocolConfig(n=7))
+
+
+def test_config_alone_sets_the_size():
+    cluster = ClusterBuilder(seed=1, config=ProtocolConfig(n=7)).build()
+    assert len(cluster.replicas) == 7
+
+
+def test_default_size_without_n_or_config():
+    cluster = ClusterBuilder(seed=1).build()
+    assert len(cluster.replicas) == 4
+
+
+def test_honest_factory_replica_stays_honest():
+    from repro.storage.durable import DurableReplica
+
+    cluster = (
+        ClusterBuilder(n=4, seed=1)
+        .with_honest_factory(2, DurableReplica)
+        .build()
+    )
+    assert isinstance(cluster.replicas[2], DurableReplica)
+    assert cluster.honest_ids == [0, 1, 2, 3]
+    assert 2 in cluster.metrics.honest_ids
+
+
+def test_honest_factory_and_byzantine_are_mutually_exclusive():
+    from repro.storage.durable import DurableReplica
+
+    builder = ClusterBuilder(n=4, seed=1).with_byzantine(1, byzantine(SilentReplica))
+    with pytest.raises(ValueError, match="already Byzantine"):
+        builder.with_honest_factory(1, DurableReplica)
+    builder = ClusterBuilder(n=4, seed=1).with_honest_factory(1, DurableReplica)
+    with pytest.raises(ValueError, match="honest factory"):
+        builder.with_byzantine(1, byzantine(SilentReplica))
+    with pytest.raises(ValueError):
+        ClusterBuilder(n=4, seed=1).with_honest_factory(9, DurableReplica)
+
+
+def test_reliable_channels_only_when_requested():
+    from repro.net.loss import IIDLoss
+    from repro.net.reliable import ChannelConfig, ReliableNetwork
+
+    plain = ClusterBuilder(n=4, seed=1).build()
+    assert not isinstance(plain.network, ReliableNetwork)
+    lossy = ClusterBuilder(n=4, seed=1).with_loss_model(IIDLoss(drop=0.1)).build()
+    assert isinstance(lossy.network, ReliableNetwork)
+    raw = (
+        ClusterBuilder(n=4, seed=1)
+        .with_loss_model(IIDLoss(drop=0.1), reliable=False)
+        .build()
+    )
+    assert not isinstance(raw.network, ReliableNetwork)
+    forced = (
+        ClusterBuilder(n=4, seed=1)
+        .with_reliable_channels(ChannelConfig(initial_rto=7.0))
+        .build()
+    )
+    assert isinstance(forced.network, ReliableNetwork)
+    assert forced.network.channel.initial_rto == 7.0
+
+
 def test_variant_builder_shortcut():
     cluster = (
         ClusterBuilder(n=4, seed=1)
