@@ -20,18 +20,19 @@ def run_one_fallback(seed=5):
     )
     # Run until the first fallback completes everywhere and a block commits,
     # then drain in-flight messages so every replica records its exit.
-    cluster.run(
+    result = cluster.run(
         until=50_000,
         stop_when=lambda: cluster.metrics.fallback_count() >= 1
         and len([e for e in cluster.metrics.fallback_events if e.kind == "exited"]) >= N
         and cluster.metrics.decisions() >= 1,
     )
     cluster.run(until=cluster.scheduler.now + 120.0)
-    return cluster
+    return cluster, result
 
 
 def test_fallback_anatomy(benchmark, report):
-    cluster = benchmark.pedantic(run_one_fallback, rounds=1, iterations=1)
+    cluster, run_result = benchmark.pedantic(run_one_fallback, rounds=1, iterations=1)
+    report.throughput(f"fallback-n{N}", run_result)
     metrics = cluster.metrics
     # Anatomize the most recent fully-observed fallback view (earlier views'
     # working state is garbage-collected PRUNE_MARGIN views back).
@@ -80,7 +81,7 @@ def test_fallback_anatomy(benchmark, report):
 def test_fallback_message_budget(benchmark, report):
     """Each fallback costs O(n^2): every replica multicasts O(1) messages
     and answers each chain's votes."""
-    cluster = benchmark.pedantic(run_one_fallback, rounds=1, iterations=1)
+    cluster, _ = benchmark.pedantic(run_one_fallback, rounds=1, iterations=1)
     phases = cluster.metrics.phase_messages()
     fallbacks = cluster.metrics.fallback_count()
     per_fallback = phases["view_change"] / max(fallbacks, 1)
@@ -96,7 +97,7 @@ def test_fallback_message_budget(benchmark, report):
 
 
 def test_endorsed_chain_reaches_ledger(benchmark, report):
-    cluster = benchmark.pedantic(run_one_fallback, rounds=1, iterations=1)
+    cluster, _ = benchmark.pedantic(run_one_fallback, rounds=1, iterations=1)
     cluster.run(until=cluster.scheduler.now + 500)
     chains = [r.ledger.committed_blocks() for r in cluster.honest_replicas()]
     longest = max(chains, key=len)

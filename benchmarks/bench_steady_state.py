@@ -30,6 +30,8 @@ def test_steady_state_throughput(benchmark, report):
     table.add_row("blocks/simulated-second", f"{decisions / elapsed:.2f}", "one per ~2 message delays")
     table.add_row("fallbacks", cluster.metrics.fallback_count(), "0")
     benchmark.extra_info["throughput"] = decisions / elapsed
+    benchmark.extra_info["events_per_sec"] = result.events_per_sec
+    report.throughput(f"steady-n{N}", result)
     assert cluster.metrics.fallback_count() == 0
 
 

@@ -30,6 +30,25 @@ class ReportRegistry:
         _REPORTS.setdefault(name, {"headers": None, "title": name, "rows": []})
         _REPORTS[name].setdefault("notes", []).append(text)
 
+    def throughput(self, name: str, run_result) -> None:
+        """Record simulator throughput (events/sec) for one measured run.
+
+        ``run_result`` is a :class:`repro.runtime.cluster.RunResult`; the
+        numbers land in a shared "simulator throughput" table in the
+        terminal summary, next to the protocol tables.
+        """
+        handle = self.table(
+            "simulator-throughput",
+            ["run", "events", "wall (s)", "events/sec"],
+            title="Simulator throughput",
+        )
+        handle.add_row(
+            name,
+            run_result.events_processed,
+            f"{run_result.wall_seconds:.3f}",
+            f"{run_result.events_per_sec:,.0f}",
+        )
+
 
 class TableHandle:
     def __init__(self, entry: dict) -> None:

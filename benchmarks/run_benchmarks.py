@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Benchmark driver: run the canonical simulator scenarios and track the
+throughput trajectory in ``BENCH_simcore.json`` at the repo root.
+
+Each invocation appends one entry — ``{label, commit, timestamp, results}``
+— so the file accumulates a perf history across commits.  Two extra checks
+gate every recorded run:
+
+- **determinism**: each scenario runs twice with the same seed and must
+  produce identical fingerprints (see :mod:`benchmarks.bench_simcore`);
+- **parallel sweep**: an 8-seed sweep through
+  :func:`repro.runtime.parallel.run_seed_sweep` must match the serial loop
+  result-for-result.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --label "my change"
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --quick   # smoke only
+    PYTHONPATH=src python benchmarks/run_benchmarks.py \
+        --import-results old.json --label baseline --commit abc1234
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Optional
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _REPO_ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+sys.path.insert(0, str(_REPO_ROOT / "benchmarks"))
+
+from bench_simcore import SCENARIOS, check_determinism, run_scenario  # noqa: E402
+
+from repro.experiments.scenarios import sweep_sync  # noqa: E402
+
+RESULTS_PATH = _REPO_ROOT / "BENCH_simcore.json"
+
+SWEEP_SEEDS = list(range(1, 9))
+
+
+def git_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=_REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        return out.stdout.strip() or "unknown"
+    except OSError:
+        return "unknown"
+
+
+def load_history() -> list[dict]:
+    if RESULTS_PATH.exists():
+        return json.loads(RESULTS_PATH.read_text())
+    return []
+
+
+def append_entry(entry: dict) -> None:
+    history = load_history()
+    history.append(entry)
+    RESULTS_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def check_parallel_sweep(processes: int = 2) -> dict:
+    """Serial vs parallel 8-seed sweep must agree result-for-result."""
+    serial = sweep_sync("fallback-3chain", 4, SWEEP_SEEDS, target_commits=20, processes=1)
+    parallel = sweep_sync(
+        "fallback-3chain", 4, SWEEP_SEEDS, target_commits=20, processes=processes
+    )
+    if serial != parallel:
+        raise SystemExit(
+            "PARALLEL SWEEP MISMATCH: parallel seed sweep differs from serial "
+            f"(seeds {SWEEP_SEEDS})"
+        )
+    return {
+        "seeds": SWEEP_SEEDS,
+        "decisions": [result.decisions for result in serial],
+        "parallel_matches_serial": True,
+    }
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default="", help="entry label (e.g. the change)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="steady-n4 determinism smoke only; nothing is recorded",
+    )
+    parser.add_argument(
+        "--skip-sweep-check",
+        action="store_true",
+        help="skip the parallel-vs-serial sweep verification",
+    )
+    parser.add_argument(
+        "--import-results",
+        type=Path,
+        default=None,
+        help="append a bench_simcore --json results file instead of running",
+    )
+    parser.add_argument("--commit", default=None, help="commit for --import-results")
+    args = parser.parse_args(argv)
+
+    timestamp = datetime.datetime.now(datetime.timezone.utc).isoformat(
+        timespec="seconds"
+    )
+
+    if args.import_results is not None:
+        entry = {
+            "label": args.label or "imported",
+            "commit": args.commit or "unknown",
+            "timestamp": timestamp,
+            "results": json.loads(args.import_results.read_text()),
+        }
+        append_entry(entry)
+        print(f"imported {args.import_results} into {RESULTS_PATH}")
+        return 0
+
+    if args.quick:
+        entry = check_determinism(
+            "steady-n4", args.seed, target_commits=100, max_events=50_000
+        )
+        print(
+            f"quick smoke ok: {entry['events']} events at "
+            f"{entry['events_per_sec']:,.0f} events/sec, "
+            f"fingerprint {entry['fingerprint']}"
+        )
+        return 0
+
+    results = []
+    for name in sorted(SCENARIOS):
+        entry = check_determinism(name, args.seed)
+        results.append(entry)
+        print(
+            f"{name:<14} events={entry['events']:<8} "
+            f"wall={entry['wall_seconds']:.3f}s "
+            f"events/sec={entry['events_per_sec']:,.0f} "
+            f"fp={entry['fingerprint'][:12]} determinism=ok"
+        )
+
+    sweep = None
+    if not args.skip_sweep_check:
+        sweep = check_parallel_sweep()
+        print(f"parallel sweep ok over seeds {sweep['seeds']}")
+
+    append_entry(
+        {
+            "label": args.label or "run",
+            "commit": git_commit(),
+            "timestamp": timestamp,
+            "results": results,
+            "sweep_check": sweep,
+        }
+    )
+    print(f"recorded entry in {RESULTS_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

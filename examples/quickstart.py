@@ -25,6 +25,8 @@ def main() -> None:
     print("=== quickstart: DiemBFT + asynchronous fallback, n=4, synchrony ===")
     print(f"simulated time elapsed : {result.stopped_at:.1f}s")
     print(f"blocks decided         : {result.decisions}")
+    print(f"simulator throughput   : {result.events_processed} events in "
+          f"{result.wall_seconds:.3f}s ({result.events_per_sec:,.0f} events/sec)")
     print(f"fallbacks triggered    : {cluster.metrics.fallback_count()} (expected 0)")
     print(f"messages per decision  : {cluster.metrics.messages_per_decision():.1f} "
           f"(linear: ~2n = {2 * cluster.config.n})")

@@ -10,8 +10,10 @@ verification machinery.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.config import ProtocolConfig
+from repro.crypto.certcache import VerifiedCertCache
 from repro.crypto.coin import CoinShare, CommonCoin
 from repro.crypto.keys import KeyPair, Registry
 from repro.crypto.threshold import (
@@ -30,15 +32,29 @@ class SharedSetup:
     registry: Registry
     quorum_scheme: ThresholdScheme
     coin: CommonCoin
+    #: Cluster-wide verification-verdict cache (a verification is a pure
+    #: function of certificate content + key epoch, so one replica's
+    #: verdict holds for all).  ``None`` disables caching entirely.
+    cert_cache: Optional[VerifiedCertCache] = None
 
     @classmethod
-    def deal(cls, config: ProtocolConfig, coin_seed: int = 0) -> "SharedSetup":
+    def deal(
+        cls,
+        config: ProtocolConfig,
+        coin_seed: int = 0,
+        cert_cache: Optional[VerifiedCertCache] = None,
+        cert_cache_enabled: bool = True,
+    ) -> "SharedSetup":
         registry = Registry(config.n)
+        if cert_cache is None:
+            cert_cache = VerifiedCertCache(enabled=cert_cache_enabled)
+        registry.add_epoch_listener(cert_cache.on_epoch_change)
         return cls(
             config=config,
             registry=registry,
             quorum_scheme=ThresholdScheme(registry, threshold=config.quorum_size),
             coin=CommonCoin(registry, threshold=config.coin_threshold, seed=coin_seed),
+            cert_cache=cert_cache,
         )
 
     def context_for(self, replica: int) -> "CryptoContext":
@@ -63,6 +79,14 @@ class CryptoContext:
     @property
     def coin(self) -> CommonCoin:
         return self.setup.coin
+
+    @property
+    def cert_cache(self) -> Optional[VerifiedCertCache]:
+        return self.setup.cert_cache
+
+    @property
+    def registry_epoch(self) -> int:
+        return self.setup.registry.epoch
 
     # ------------------------------------------------------------------
     # Share helpers

@@ -20,19 +20,42 @@ from repro.types.certificates import (
 AnyCert = Union[QC, FallbackQC, EndorsedFallbackQC]
 
 
+def _cached(crypto: CryptoContext, cert, verifier) -> bool:
+    """Run ``verifier`` through the cluster-wide verified-certificate cache.
+
+    A verdict is a pure function of the certificate content (``cert.digest``
+    covers the payload plus the signature's epoch/tag/signers) and the
+    registry epoch, so one replica's verification serves the whole cluster.
+    """
+    cache = crypto.cert_cache
+    if cache is None:
+        return verifier()
+    return cache.check(cert.digest, crypto.registry_epoch, verifier)
+
+
 def verify_qc(crypto: CryptoContext, qc: QC) -> bool:
     """A regular QC is valid if genesis or carries a 2f+1 threshold sig."""
     if is_genesis_qc(qc):
         return True
-    return crypto.verify_combined(qc.signature, qc.payload())
+    return _cached(
+        crypto, qc, lambda: crypto.verify_combined(qc.signature, qc.payload())
+    )
 
 
 def verify_fallback_qc(crypto: CryptoContext, fqc: FallbackQC) -> bool:
-    return crypto.verify_combined(fqc.signature, fqc.payload())
+    return _cached(
+        crypto, fqc, lambda: crypto.verify_combined(fqc.signature, fqc.payload())
+    )
+
+
+def verify_coin_qc(crypto: CryptoContext, coin_qc: CoinQC) -> bool:
+    return _cached(crypto, coin_qc, lambda: crypto.verify_coin_qc(coin_qc))
 
 
 def verify_endorsed(crypto: CryptoContext, cert: EndorsedFallbackQC) -> bool:
-    return verify_fallback_qc(crypto, cert.fqc) and crypto.verify_coin_qc(cert.coin_qc)
+    return verify_fallback_qc(crypto, cert.fqc) and verify_coin_qc(
+        crypto, cert.coin_qc
+    )
 
 
 def verify_parent_cert(crypto: CryptoContext, cert: ParentCert) -> bool:
@@ -53,11 +76,15 @@ def verify_embedded_cert(crypto: CryptoContext, cert: AnyCert) -> bool:
 
 
 def verify_fallback_tc(crypto: CryptoContext, ftc: FallbackTC) -> bool:
-    return crypto.verify_combined(ftc.signature, ftc.payload())
+    return _cached(
+        crypto, ftc, lambda: crypto.verify_combined(ftc.signature, ftc.payload())
+    )
 
 
 def verify_timeout_cert(crypto: CryptoContext, tc: TimeoutCertificate) -> bool:
-    return crypto.verify_combined(tc.signature, tc.payload())
+    return _cached(
+        crypto, tc, lambda: crypto.verify_combined(tc.signature, tc.payload())
+    )
 
 
 def effective_rank(cert: AnyCert, coin_qcs: Mapping[int, CoinQC]) -> Rank:

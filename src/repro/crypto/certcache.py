@@ -1,0 +1,98 @@
+"""Cluster-wide cache of certificate verification verdicts.
+
+In the simulation every replica independently re-verifies every QC / f-QC /
+f-TC / coin-QC it sees, so a certificate multicast to n replicas costs n
+identical threshold-signature verifications.  Real deployments pay that
+price because replicas are separate machines; the simulator does not have
+to — verification is a pure function of the certificate's content and the
+key epoch, so a verdict computed once holds for the whole cluster.
+
+The cache is keyed on ``(certificate content digest, registry epoch)``:
+
+- the *content digest* (``cert.digest``, a :func:`~repro.crypto.hashing.
+  hash_fields` over the signed payload plus the signature's epoch, tag and
+  signer set) covers every input verification reads, so two certificates
+  with the same digest verify identically — a forged certificate carrying a
+  copied tag but different fields or a sub-threshold signer set hashes
+  differently and cannot inherit a genuine verdict;
+- the *epoch* keys verdicts to the PKI generation they were computed under.
+  On a registry epoch change (key rotation) old verdicts are both dead by
+  key mismatch and explicitly invalidated via :meth:`on_epoch_change`,
+  which :class:`~repro.crypto.keys.Registry` calls through its epoch
+  listeners.
+
+``enabled=False`` turns the cache into a pass-through (every lookup calls
+the verifier), which is the bypass mode the determinism tests use to prove
+cached and uncached runs are event-for-event identical.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.crypto.hashing import Digest
+
+
+class VerifiedCertCache:
+    """Shared verification-verdict cache with hit/miss counters."""
+
+    def __init__(self, enabled: bool = True, max_entries: int = 1 << 20) -> None:
+        self.enabled = enabled
+        self.max_entries = max_entries
+        self._verdicts: dict[tuple[Digest, int], bool] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._verdicts)
+
+    def check(self, digest: Digest, epoch: int, verifier: Callable[[], bool]) -> bool:
+        """Return the cached verdict for ``(digest, epoch)`` or compute it.
+
+        ``verifier`` runs at most once per (digest, epoch); with the cache
+        disabled it runs every time and nothing is recorded.
+        """
+        if not self.enabled:
+            return verifier()
+        key = (digest, epoch)
+        verdict = self._verdicts.get(key)
+        if verdict is None:
+            self.misses += 1
+            verdict = verifier()
+            if len(self._verdicts) >= self.max_entries:
+                self._verdicts.clear()
+            self._verdicts[key] = verdict
+        else:
+            self.hits += 1
+        return verdict
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+    def on_epoch_change(self, new_epoch: int) -> None:
+        """Registry epoch listener: drop verdicts from older epochs."""
+        stale = [key for key in self._verdicts if key[1] != new_epoch]
+        for key in stale:
+            del self._verdicts[key]
+        self.invalidations += len(stale)
+
+    def clear(self) -> None:
+        """Drop every verdict (counters are kept)."""
+        self.invalidations += len(self._verdicts)
+        self._verdicts.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def counters(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._verdicts),
+            "invalidations": self.invalidations,
+        }
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

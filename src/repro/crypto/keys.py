@@ -42,6 +42,28 @@ class Registry:
         self._keys: dict[int, KeyPair] = {
             replica: KeyPair(owner=replica, epoch=epoch) for replica in range(n)
         }
+        #: Called with the new epoch after each key rotation (caches that
+        #: hold epoch-scoped state subscribe here to invalidate).
+        self._epoch_listeners: list = []
+
+    def add_epoch_listener(self, listener) -> None:
+        """Subscribe ``listener(new_epoch)`` to key-rotation events."""
+        self._epoch_listeners.append(listener)
+
+    def advance_epoch(self) -> int:
+        """Rotate every key to a fresh epoch and notify listeners.
+
+        Signatures and certificates minted under the old epoch stop
+        verifying (their epoch no longer matches the registry's).
+        """
+        self.epoch += 1
+        self._keys = {
+            replica: KeyPair(owner=replica, epoch=self.epoch)
+            for replica in range(self.n)
+        }
+        for listener in self._epoch_listeners:
+            listener(self.epoch)
+        return self.epoch
 
     def key_pair(self, replica: int) -> KeyPair:
         """Hand the private key to its owner (done once, by the 'dealer')."""

@@ -7,12 +7,14 @@ protocol P at size n under network N" means the same thing everywhere.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from functools import partial
+from typing import Callable, Optional, Sequence
 
 from repro.core.config import ProtocolConfig
 from repro.net.conditions import DelayModel, LeaderTargetingAdversary, SynchronousDelay
 from repro.protocols.presets import preset
 from repro.runtime.cluster import Cluster, ClusterBuilder, RunResult
+from repro.runtime.parallel import run_seed_sweep
 
 #: Attack delay used by the leader-targeting asynchronous adversary.  Far
 #: beyond the default 5s round timeout, so targeted rounds always fail.
@@ -99,6 +101,55 @@ def run_async_attack(
     cluster = build_cluster(protocol, n, seed=seed, delay_factory=leader_attack_factory())
     result = cluster.run_until_commits(target_commits, until=until)
     return _summarize(protocol, n, "async(leader-attack)", cluster, result)
+
+
+def sweep_sync(
+    protocol: str,
+    n: int,
+    seeds: Sequence[int],
+    target_commits: int = 50,
+    until: float = 20_000.0,
+    processes: Optional[int] = None,
+) -> list[ScenarioResult]:
+    """:func:`run_sync` over many seeds, one worker process per core.
+
+    Each seed is an independent deterministic run, so the sweep returns
+    exactly what a serial loop would — just faster on multicore hosts.
+    """
+    task = partial(
+        _run_sync_seed, protocol, n, target_commits=target_commits, until=until
+    )
+    return run_seed_sweep(task, seeds, processes=processes)
+
+
+def sweep_async_attack(
+    protocol: str,
+    n: int,
+    seeds: Sequence[int],
+    target_commits: int = 10,
+    until: float = 50_000.0,
+    processes: Optional[int] = None,
+) -> list[ScenarioResult]:
+    """:func:`run_async_attack` over many seeds, in parallel."""
+    task = partial(
+        _run_async_seed, protocol, n, target_commits=target_commits, until=until
+    )
+    return run_seed_sweep(task, seeds, processes=processes)
+
+
+def _run_sync_seed(
+    protocol: str, n: int, seed: int, target_commits: int, until: float
+) -> ScenarioResult:
+    # Module-level so functools.partial over it pickles into fork workers.
+    return run_sync(protocol, n, seed=seed, target_commits=target_commits, until=until)
+
+
+def _run_async_seed(
+    protocol: str, n: int, seed: int, target_commits: int, until: float
+) -> ScenarioResult:
+    return run_async_attack(
+        protocol, n, seed=seed, target_commits=target_commits, until=until
+    )
 
 
 def table1_cell(protocol: str, n: int, network: str, seed: int = 0) -> ScenarioResult:

@@ -48,7 +48,13 @@ class Network:
         self.self_delivery_delay = self_delivery_delay
         self._processes: dict[int, Process] = {}
         self._multicast_group: set[int] = set()
+        #: Sorted snapshot of the multicast group, rebuilt on register so the
+        #: multicast hot path never re-sorts.
+        self._group_sorted: tuple[int, ...] = ()
         self._hooks: list[SendHook] = []
+        #: (sender, receiver, message class) -> delivery label; topologies
+        #: and message vocabularies are small, so this stays bounded.
+        self._label_cache: dict[tuple[int, int, type], str] = {}
         self._rng = scheduler.child_rng("network")
         self._loss_rng = scheduler.child_rng("network-loss")
         self.messages_sent = 0
@@ -71,10 +77,11 @@ class Network:
         self._processes[process.process_id] = process
         if in_multicast_group:
             self._multicast_group.add(process.process_id)
+            self._group_sorted = tuple(sorted(self._multicast_group))
 
     def process_ids(self) -> list[int]:
         """Multicast-group member ids (replicas), sorted."""
-        return sorted(self._multicast_group)
+        return list(self._group_sorted)
 
     def all_process_ids(self) -> list[int]:
         return sorted(self._processes)
@@ -133,14 +140,19 @@ class Network:
         if copies <= 0:
             self.messages_dropped += 1
             return
-        self._schedule_delivery(sender, receiver, message, delay)
+        label_key = (sender, receiver, type(message))
+        label = self._label_cache.get(label_key)
+        if label is None:
+            label = f"msg:{sender}->{receiver}:{type(message).__name__}"
+            self._label_cache[label_key] = label
+        self._schedule_delivery(sender, receiver, message, delay, label)
         for _ in range(copies - 1):
             extra_delay = self.delay_model.delay(
                 sender, receiver, message, now, self._rng
             )
             self._check_delay(extra_delay)
             self.duplicates_injected += 1
-            self._schedule_delivery(sender, receiver, message, extra_delay)
+            self._schedule_delivery(sender, receiver, message, extra_delay, label)
 
     def _check_delay(self, delay: float) -> None:
         if delay < 0:
@@ -149,12 +161,12 @@ class Network:
             )
 
     def _schedule_delivery(
-        self, sender: int, receiver: int, message: object, delay: float
+        self, sender: int, receiver: int, message: object, delay: float, label: str
     ) -> None:
         self.scheduler.call_after(
             delay,
             lambda: self._deliver(sender, receiver, message),
-            label=f"msg:{sender}->{receiver}:{type(message).__name__}",
+            label=label,
         )
 
     def _deliver(self, sender: int, receiver: int, message: object) -> None:
@@ -164,17 +176,18 @@ class Network:
 
     def multicast(self, sender: int, message: object, include_self: bool = True) -> None:
         """Send ``message`` to every registered process (deterministic order)."""
-        for receiver in self.process_ids():
+        send = self.send
+        for receiver in self._group_sorted:
             if receiver == sender and not include_self:
                 continue
-            self.send(sender, receiver, message)
+            send(sender, receiver, message)
 
     def _wire_size_of(self, message: object) -> int:
-        wire_size = getattr(message, "wire_size", None)
-        if callable(wire_size):
-            return int(wire_size())
-        self.untyped_messages += 1
-        return 64  # conservative default for untyped test messages
+        try:
+            return int(message.wire_size())
+        except AttributeError:
+            self.untyped_messages += 1
+            return 64  # conservative default for untyped test messages
 
 
 def _wire_size(message: object) -> int:

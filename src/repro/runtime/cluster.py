@@ -9,6 +9,7 @@ arbitrary predicate) and exposes the pieces for inspection.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
@@ -40,10 +41,21 @@ class RunResult:
 
     cluster: "Cluster"
     stopped_at: float
+    #: Events the scheduler processed during this ``run`` call.
+    events_processed: int = 0
+    #: Host wall-clock seconds this ``run`` call took.
+    wall_seconds: float = 0.0
 
     @property
     def metrics(self) -> MetricsCollector:
         return self.cluster.metrics
+
+    @property
+    def events_per_sec(self) -> float:
+        """Simulator throughput of this run (0.0 for an instant run)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.events_processed / self.wall_seconds
 
     @property
     def decisions(self) -> int:
@@ -160,10 +172,18 @@ class Cluster:
         stop_when: Optional[Callable[[], bool]] = None,
     ) -> RunResult:
         self.start()
+        events_before = self.scheduler.events_processed
+        wall_start = time.perf_counter()
         stopped_at = self.scheduler.run(
             until=until, max_events=max_events, stop_when=stop_when
         )
-        return RunResult(cluster=self, stopped_at=stopped_at)
+        wall_seconds = time.perf_counter() - wall_start
+        return RunResult(
+            cluster=self,
+            stopped_at=stopped_at,
+            events_processed=self.scheduler.events_processed - events_before,
+            wall_seconds=wall_seconds,
+        )
 
     def run_until_commits(
         self,
@@ -227,6 +247,7 @@ class ClusterBuilder:
         self._preload_transactions = 200
         self._client_count = 0
         self._client_kwargs: dict = {}
+        self._cert_cache_enabled = True
 
     # ------------------------------------------------------------------
     # Configuration
@@ -323,6 +344,15 @@ class ClusterBuilder:
         self._state_machine_factory = factory
         return self
 
+    def with_cert_cache(self, enabled: bool) -> "ClusterBuilder":
+        """Toggle the cluster-wide verified-certificate cache.
+
+        Disabling it makes every replica re-verify every certificate (the
+        pre-cache behavior) — the bypass mode the determinism tests compare
+        against."""
+        self._cert_cache_enabled = enabled
+        return self
+
     def with_clients(self, count: int, **client_kwargs) -> "ClusterBuilder":
         """Attach closed-loop BFT clients (ids n, n+1, ...).
 
@@ -357,11 +387,16 @@ class ClusterBuilder:
             )
         else:
             network = Network(scheduler, self._delay_model, loss_model=self._loss_model)
-        setup = SharedSetup.deal(config, coin_seed=self.seed)
+        setup = SharedSetup.deal(
+            config,
+            coin_seed=self.seed,
+            cert_cache_enabled=self._cert_cache_enabled,
+        )
         byzantine_ids = sorted(self._byzantine)
         metrics = MetricsCollector(
             honest_ids=[i for i in range(config.n) if i not in self._byzantine]
         )
+        metrics.attach_cert_cache(setup.cert_cache)
         network.add_send_hook(metrics.on_send)
         if isinstance(network, ReliableNetwork):
             network.add_channel_hook(metrics.on_channel_event)

@@ -86,6 +86,13 @@ class MetricsCollector(ReplicaObserver):
         #: Callables invoked once per distinct committed transaction.
         self.commit_listeners: list = []
         self._notified_txs: set[str] = set()
+        #: Cluster-wide verified-certificate cache, if one is in play.
+        self._cert_cache = None
+
+    def attach_cert_cache(self, cache) -> None:
+        """Surface a :class:`~repro.crypto.certcache.VerifiedCertCache`'s
+        hit/miss counters through this collector."""
+        self._cert_cache = cache
 
     # ------------------------------------------------------------------
     # Network hooks
@@ -96,7 +103,10 @@ class MetricsCollector(ReplicaObserver):
         # Bytes are billed at the full frame (channel header included);
         # classification uses the protocol payload inside a DataPacket so
         # phase accounting stays comparable with the reliable-link model.
-        size = getattr(message, "wire_size", lambda: 64)()
+        try:
+            size = message.wire_size()
+        except AttributeError:
+            size = 64
         payload = getattr(message, "payload", message)
         name = type(payload).__name__
         self.message_counts[name] += 1
@@ -232,6 +242,12 @@ class MetricsCollector(ReplicaObserver):
     def commits_at(self, replica: int) -> list[CommitEvent]:
         return [event for event in self.commits if event.replica == replica]
 
+    def cert_cache_counters(self) -> dict[str, int]:
+        """Verified-certificate cache counters (all zero without a cache)."""
+        if self._cert_cache is None:
+            return {"hits": 0, "misses": 0, "entries": 0, "invalidations": 0}
+        return self._cert_cache.counters()
+
     def summary(self) -> str:
         lines = [
             f"decisions: {self.decisions()}",
@@ -243,6 +259,11 @@ class MetricsCollector(ReplicaObserver):
             f"duplicates suppressed: {self.duplicates_suppressed}",
             f"ack overhead: {self.acks} acks ({self.ack_bytes} bytes)",
         ]
+        cache = self.cert_cache_counters()
+        lines.append(
+            f"cert cache: {cache['hits']} hits, {cache['misses']} misses, "
+            f"{cache['invalidations']} invalidations"
+        )
         phases = self.phase_messages()
         lines.append(
             "phases: "

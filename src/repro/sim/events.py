@@ -4,16 +4,19 @@ An :class:`Event` is a callback scheduled at a simulated time.  Events are
 totally ordered by ``(time, sequence)`` where the sequence number is the
 global insertion order; two events scheduled for the same instant therefore
 fire in the order they were scheduled, which keeps runs deterministic.
+
+The queue stores ``(time, sequence, event)`` tuples so heap comparisons run
+on native tuples instead of calling back into Python-level ``__lt__``, and
+it maintains a live-event counter so ``len()`` is O(1) even with many
+cancelled-but-unpopped entries on the heap.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
@@ -23,62 +26,101 @@ class Event:
         action: zero-argument callable run when the event fires.
         label: human-readable tag used in traces and error messages.
         cancelled: set via :meth:`cancel`; cancelled events are skipped.
+        fired: set by :meth:`fire`; a fired event is spent either way.
     """
 
-    time: float
-    sequence: int
-    action: Callable[[], None] = field(compare=False)
-    label: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "sequence", "action", "label", "cancelled", "fired", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        sequence: int,
+        action: Callable[[], None],
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.action = action
+        self.label = label
+        self.cancelled = False
+        self.fired = False
+        #: Owning queue while the event is still on the heap (for the live
+        #: counter); detached on pop/clear so late cancels don't double-count.
+        self._queue: Optional["EventQueue"] = None
 
     def cancel(self) -> None:
         """Mark the event so the queue skips it when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            queue = self._queue
+            if queue is not None:
+                queue._live -= 1
+                self._queue = None
 
     def fire(self) -> None:
         """Run the callback unless the event was cancelled."""
+        self.fired = True
         if not self.cancelled:
             self.action()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Event(time={self.time!r}, sequence={self.sequence!r}, "
+            f"label={self.label!r}, cancelled={self.cancelled!r}, "
+            f"fired={self.fired!r})"
+        )
 
 
 class EventQueue:
     """A deterministic priority queue of :class:`Event` objects."""
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._sequence = 0
+        self._live = 0
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     def push(self, time: float, action: Callable[[], None], label: str = "") -> Event:
         """Schedule ``action`` at ``time`` and return the event handle."""
         if time < 0:
             raise ValueError(f"cannot schedule event at negative time {time}")
-        event = Event(time=time, sequence=self._sequence, action=action, label=label)
+        event = Event(time, self._sequence, action, label)
+        event._queue = self
+        heapq.heappush(self._heap, (time, self._sequence, event))
         self._sequence += 1
-        heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest non-cancelled event, or ``None``."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             if not event.cancelled:
+                event._queue = None
+                self._live -= 1
                 return event
         return None
 
     def peek_time(self) -> Optional[float]:
         """Return the time of the earliest pending event without popping it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if self._heap:
-            return self._heap[0].time
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            if entry[2].cancelled:
+                heapq.heappop(heap)
+            else:
+                return entry[0]
         return None
 
     def clear(self) -> None:
         """Drop every pending event."""
+        for entry in self._heap:
+            entry[2]._queue = None
         self._heap.clear()
+        self._live = 0
 
 
 def describe_event(event: Event) -> dict[str, Any]:

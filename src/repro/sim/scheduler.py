@@ -30,7 +30,8 @@ class Timer:
 
     @property
     def active(self) -> bool:
-        return not self._event.cancelled
+        """True only while the timer can still fire (not cancelled, not fired)."""
+        return not self._event.cancelled and not self._event.fired
 
     def cancel(self) -> None:
         self._event.cancel()

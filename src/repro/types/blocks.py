@@ -84,7 +84,7 @@ class Block:
     def parent_id(self) -> Optional[Digest]:
         return self.qc.block_id if self.qc is not None else None
 
-    @property
+    @cached_property
     def rank(self) -> Rank:
         return Rank(view=self.view, endorsed=False, round=self.round)
 
@@ -92,11 +92,15 @@ class Block:
     def is_genesis(self) -> bool:
         return self.qc is None and self.round == 0
 
-    def wire_size(self) -> int:
+    @cached_property
+    def _wire_size(self) -> int:
         qc_size = self.qc.wire_size() if self.qc is not None else 0
         return (
             DIGEST_WIRE_SIZE + BLOCK_HEADER_WIRE_SIZE + qc_size + self.batch.wire_size()
         )
+
+    def wire_size(self) -> int:
+        return self._wire_size
 
     def __repr__(self) -> str:  # compact, for traces
         return f"Block(r={self.round}, v={self.view}, id={self.id[:8]})"
@@ -137,12 +141,13 @@ class FallbackBlock:
     def parent_id(self) -> Digest:
         return self.qc.block_id
 
-    @property
+    @cached_property
     def rank(self) -> Rank:
         """Rank as an unendorsed f-block (endorsement is a certificate affair)."""
         return Rank(view=self.view, endorsed=False, round=self.round)
 
-    def wire_size(self) -> int:
+    @cached_property
+    def _wire_size(self) -> int:
         return (
             DIGEST_WIRE_SIZE
             + BLOCK_HEADER_WIRE_SIZE
@@ -150,6 +155,9 @@ class FallbackBlock:
             + self.qc.wire_size()
             + self.batch.wire_size()
         )
+
+    def wire_size(self) -> int:
+        return self._wire_size
 
     def __repr__(self) -> str:
         return (

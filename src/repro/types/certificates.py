@@ -10,7 +10,7 @@ beyond that break by round number.  ``Rank`` encodes this as the tuple
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import total_ordering
+from functools import cached_property
 from typing import Optional, Union
 
 from repro.crypto.hashing import Digest, hash_fields
@@ -21,10 +21,27 @@ CERT_HEADER_WIRE_SIZE = 48
 COIN_QC_WIRE_SIZE = 96
 
 
-@total_ordering
+def _signature_fingerprint(signature: ThresholdSignature) -> tuple:
+    """Everything verification reads from a threshold signature.
+
+    Certificate content digests must cover the epoch, tag AND signer set:
+    a forged certificate carrying a copied tag but a sub-threshold signer
+    set has to hash differently from the genuine article, or a verdict
+    cache keyed on digests would conflate them.
+    """
+    return (signature.epoch, signature.tag, tuple(sorted(signature.signers)))
+
+
 @dataclass(frozen=True)
 class Rank:
-    """Total order over certificates/blocks: (view, endorsed, round)."""
+    """Total order over certificates/blocks: (view, endorsed, round).
+
+    The comparison dunders are all spelled out (no ``total_ordering``) so
+    rank comparisons — which sit on the simulator's hottest path — cost one
+    native tuple compare instead of a derived-operator dispatch.  bool
+    compares/hashes as int, so skipping the int() conversion that
+    ``_key()`` performs keeps the ordering identical.
+    """
 
     view: int
     endorsed: bool
@@ -34,15 +51,44 @@ class Rank:
         return (self.view, int(self.endorsed), self.round)
 
     def __lt__(self, other: "Rank") -> bool:
-        return self._key() < other._key()
+        return (self.view, self.endorsed, self.round) < (
+            other.view,
+            other.endorsed,
+            other.round,
+        )
+
+    def __le__(self, other: "Rank") -> bool:
+        return (self.view, self.endorsed, self.round) <= (
+            other.view,
+            other.endorsed,
+            other.round,
+        )
+
+    def __gt__(self, other: "Rank") -> bool:
+        return (self.view, self.endorsed, self.round) > (
+            other.view,
+            other.endorsed,
+            other.round,
+        )
+
+    def __ge__(self, other: "Rank") -> bool:
+        return (self.view, self.endorsed, self.round) >= (
+            other.view,
+            other.endorsed,
+            other.round,
+        )
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Rank):
             return NotImplemented
-        return self._key() == other._key()
+        return (self.view, self.endorsed, self.round) == (
+            other.view,
+            other.endorsed,
+            other.round,
+        )
 
     def __hash__(self) -> int:
-        return hash(self._key())
+        return hash((self.view, self.endorsed, self.round))
 
     @classmethod
     def zero(cls) -> "Rank":
@@ -64,13 +110,22 @@ class QC:
     view: int
     signature: ThresholdSignature
 
-    @property
+    @cached_property
     def rank(self) -> Rank:
         return Rank(view=self.view, endorsed=False, round=self.round)
 
+    @cached_property
+    def _payload(self) -> tuple:
+        return ("vote", self.block_id, self.round, self.view)
+
     def payload(self) -> tuple:
         """The signed payload (what shares were computed over)."""
-        return ("vote", self.block_id, self.round, self.view)
+        return self._payload
+
+    @cached_property
+    def digest(self) -> Digest:
+        """Canonical content digest (verified-certificate cache key)."""
+        return hash_fields("qc-digest", self._payload, _signature_fingerprint(self.signature))
 
     def wire_size(self) -> int:
         return CERT_HEADER_WIRE_SIZE + self.signature.wire_size()
@@ -90,12 +145,13 @@ class FallbackQC:
     proposer: int
     signature: ThresholdSignature
 
-    @property
+    @cached_property
     def rank(self) -> Rank:
         """Rank as an *unendorsed* certificate (fallback-internal use)."""
         return Rank(view=self.view, endorsed=False, round=self.round)
 
-    def payload(self) -> tuple:
+    @cached_property
+    def _payload(self) -> tuple:
         return (
             "fvote",
             self.block_id,
@@ -104,6 +160,14 @@ class FallbackQC:
             self.height,
             self.proposer,
         )
+
+    def payload(self) -> tuple:
+        return self._payload
+
+    @cached_property
+    def digest(self) -> Digest:
+        """Canonical content digest (verified-certificate cache key)."""
+        return hash_fields("fqc-digest", self._payload, _signature_fingerprint(self.signature))
 
     def wire_size(self) -> int:
         return CERT_HEADER_WIRE_SIZE + 16 + self.signature.wire_size()
@@ -120,6 +184,11 @@ class CoinQC:
     view: int
     leader: int
     proof_tag: Digest
+
+    @cached_property
+    def digest(self) -> Digest:
+        """Canonical content digest (verified-certificate cache key)."""
+        return hash_fields("coinqc-digest", self.view, self.leader, self.proof_tag)
 
     def wire_size(self) -> int:
         return COIN_QC_WIRE_SIZE
@@ -160,9 +229,14 @@ class EndorsedFallbackQC:
     def view(self) -> int:
         return self.fqc.view
 
-    @property
+    @cached_property
     def rank(self) -> Rank:
         return Rank(view=self.fqc.view, endorsed=True, round=self.fqc.round)
+
+    @cached_property
+    def digest(self) -> Digest:
+        """Canonical content digest (verified-certificate cache key)."""
+        return hash_fields("endorsed-digest", self.fqc.digest, self.coin_qc.digest)
 
     def wire_size(self) -> int:
         return self.fqc.wire_size() + self.coin_qc.wire_size()
@@ -187,8 +261,17 @@ class TimeoutCertificate:
     round: int
     signature: ThresholdSignature
 
-    def payload(self) -> tuple:
+    @cached_property
+    def _payload(self) -> tuple:
         return ("timeout", self.round)
+
+    def payload(self) -> tuple:
+        return self._payload
+
+    @cached_property
+    def digest(self) -> Digest:
+        """Canonical content digest (verified-certificate cache key)."""
+        return hash_fields("tc-digest", self._payload, _signature_fingerprint(self.signature))
 
     def wire_size(self) -> int:
         return CERT_HEADER_WIRE_SIZE + self.signature.wire_size()
@@ -201,8 +284,17 @@ class FallbackTC:
     view: int
     signature: ThresholdSignature
 
-    def payload(self) -> tuple:
+    @cached_property
+    def _payload(self) -> tuple:
         return ("ftimeout", self.view)
+
+    def payload(self) -> tuple:
+        return self._payload
+
+    @cached_property
+    def digest(self) -> Digest:
+        """Canonical content digest (verified-certificate cache key)."""
+        return hash_fields("ftc-digest", self._payload, _signature_fingerprint(self.signature))
 
     def wire_size(self) -> int:
         return CERT_HEADER_WIRE_SIZE + self.signature.wire_size()

@@ -9,6 +9,7 @@ ordered tuple of transactions plus a digest used in the block id.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Iterable, Optional
 
 from repro.crypto.hashing import Digest, hash_fields
@@ -51,12 +52,16 @@ class Batch:
     def __iter__(self):
         return iter(self.transactions)
 
-    @property
+    @cached_property
     def digest(self) -> Digest:
         return hash_fields("batch", tuple(tx.tx_id for tx in self.transactions))
 
-    def wire_size(self) -> int:
+    @cached_property
+    def _wire_size(self) -> int:
         return sum(tx.wire_size() for tx in self.transactions)
+
+    def wire_size(self) -> int:
+        return self._wire_size
 
     @classmethod
     def of(cls, transactions: Iterable[Transaction]) -> "Batch":

@@ -2,7 +2,13 @@
 
 from hypothesis import given, strategies as st
 
-from repro.crypto.hashing import hash_bytes, hash_fields
+from repro.crypto.hashing import (
+    clear_hash_cache,
+    hash_bytes,
+    hash_cache_size,
+    hash_fields,
+    hash_fields_uncached,
+)
 
 
 def test_hash_is_deterministic():
@@ -35,3 +41,65 @@ def test_property_distinct_tuples_distinct_hashes(a, b):
         assert hash_fields(*a) != hash_fields(*b)
     else:
         assert hash_fields(*a) == hash_fields(*b)
+
+
+# ----------------------------------------------------------------------
+# Memoized path
+# ----------------------------------------------------------------------
+def test_cached_and_uncached_digests_byte_identical():
+    """The memoized entry point must return exactly what the encoder does."""
+    payloads = [
+        (),
+        ("vote", "abcd1234", 7, 3),
+        ("block", ("parent", 0), [1, 2, 3], -42),
+        ("tag", True, None, 3.5),
+        ("nested", (("deep", (1,)), "x")),
+    ]
+    for fields in payloads:
+        clear_hash_cache()
+        uncached = hash_fields_uncached(*fields)
+        cold = hash_fields(*fields)  # populates the memo
+        warm = hash_fields(*fields)  # served from the memo
+        assert cold == uncached
+        assert warm == uncached
+
+
+def test_unhashable_fields_fall_back_to_uncached():
+    digest = hash_fields("k", [1, [2, 3]])
+    assert digest == hash_fields_uncached("k", [1, [2, 3]])
+    # And the nested-list payload matches its tuple spelling, as before.
+    assert digest == hash_fields("k", (1, (2, 3)))
+
+
+def test_cache_size_grows_and_clears():
+    clear_hash_cache()
+    assert hash_cache_size() == 0
+    hash_fields("cache-probe", 1)
+    hash_fields("cache-probe", 2)
+    assert hash_cache_size() == 2
+    hash_fields("cache-probe", 1)  # hit: no growth
+    assert hash_cache_size() == 2
+    clear_hash_cache()
+    assert hash_cache_size() == 0
+
+
+def test_memo_distinguishes_type_aliased_values():
+    """``False == 0`` and ``1 == 1.0`` in Python, but they encode differently;
+    the memo key must not conflate them (regression: a cached ``False`` digest
+    used to be served for ``0``)."""
+    clear_hash_cache()
+    for a, b in [(False, 0), (True, 1), (1, 1.0), (0.0, False)]:
+        assert hash_fields(a) == hash_fields_uncached(a)
+        assert hash_fields(b) == hash_fields_uncached(b)
+        assert hash_fields(a) != hash_fields(b)
+        # Nested occurrences must be distinguished too.
+        assert hash_fields(("k", a)) != hash_fields(("k", b))
+
+
+@given(
+    st.lists(
+        st.one_of(st.integers(), st.text(max_size=12), st.booleans()), max_size=6
+    )
+)
+def test_property_memo_matches_uncached(fields):
+    assert hash_fields(*fields) == hash_fields_uncached(*fields)

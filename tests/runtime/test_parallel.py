@@ -1,0 +1,56 @@
+"""Parallel seed sweeps must be indistinguishable from serial loops."""
+
+from functools import partial
+
+from repro.experiments.scenarios import run_sync, sweep_sync
+from repro.runtime.parallel import default_processes, run_seed_sweep
+
+SEEDS = list(range(1, 9))
+
+
+def _square(seed: int) -> int:
+    return seed * seed
+
+
+def test_serial_fallback_single_process():
+    assert run_seed_sweep(_square, SEEDS, processes=1) == [s * s for s in SEEDS]
+
+
+def test_single_seed_runs_serially():
+    assert run_seed_sweep(_square, [5], processes=4) == [25]
+
+
+def test_parallel_matches_serial_simple_task():
+    serial = run_seed_sweep(_square, SEEDS, processes=1)
+    parallel = run_seed_sweep(_square, SEEDS, processes=2)
+    assert parallel == serial
+
+
+def test_results_come_back_in_seed_order():
+    seeds = [8, 1, 5, 2]
+    assert run_seed_sweep(_square, seeds, processes=2) == [64, 1, 25, 4]
+
+
+def test_default_processes_positive():
+    assert default_processes() >= 1
+
+
+def test_parallel_simulation_sweep_matches_serial():
+    """Eight deterministic n=4 runs: fork workers must reproduce the serial
+    results exactly (decisions, message counts, everything in the record)."""
+    task = partial(_run_one, target_commits=10)
+    serial = run_seed_sweep(task, SEEDS, processes=1)
+    parallel = run_seed_sweep(task, SEEDS, processes=2)
+    assert parallel == serial
+    assert all(result.decisions >= 10 for result in serial)
+
+
+def _run_one(seed: int, target_commits: int):
+    return run_sync("fallback-3chain", 4, seed=seed, target_commits=target_commits)
+
+
+def test_sweep_sync_helper_parallel_matches_serial():
+    serial = sweep_sync("fallback-3chain", 4, SEEDS[:4], target_commits=5, processes=1)
+    parallel = sweep_sync("fallback-3chain", 4, SEEDS[:4], target_commits=5, processes=2)
+    assert parallel == serial
+    assert [r.protocol for r in serial] == ["fallback-3chain"] * 4

@@ -84,3 +84,47 @@ def test_cancelled_event_does_not_fire():
     event.cancel()
     event.fire()
     assert fired == []
+
+
+def test_len_is_live_counter_not_a_scan():
+    """len() reads a counter; it must stay exact through push/cancel/pop/clear."""
+    queue = EventQueue()
+    events = [queue.push(float(i), lambda: None) for i in range(10)]
+    assert len(queue) == 10
+    events[3].cancel()
+    events[3].cancel()  # double-cancel must not double-decrement
+    assert len(queue) == 9
+    assert queue.pop() is events[0]
+    assert len(queue) == 8
+    queue.clear()
+    assert len(queue) == 0
+    # Cancelling an already-cleared event must not drive the counter negative.
+    events[5].cancel()
+    queue.push(1.0, lambda: None)
+    assert len(queue) == 1
+
+
+def test_cancel_after_pop_does_not_corrupt_len():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    queue.push(2.0, lambda: None)
+    assert queue.pop() is event
+    event.cancel()  # already off the heap; len counts only the remaining one
+    assert len(queue) == 1
+
+
+def test_fired_flag_set_by_fire():
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    assert not event.fired
+    event.fire()
+    assert event.fired
+
+
+def test_fired_flag_set_even_when_cancelled():
+    """fire() marks the event spent whether or not the action ran."""
+    queue = EventQueue()
+    event = queue.push(1.0, lambda: None)
+    event.cancel()
+    event.fire()
+    assert event.fired

@@ -112,3 +112,24 @@ def test_drain_returns_count():
     for i in range(7):
         scheduler.call_at(float(i), lambda: None)
     assert scheduler.drain() == 7
+
+
+def test_timer_inactive_after_firing():
+    """Regression: a fired timer must not report active=True."""
+    scheduler = Scheduler(seed=1)
+    fired = []
+    timer = scheduler.set_timer(5.0, lambda: fired.append("t"))
+    assert timer.active
+    scheduler.run()
+    assert fired == ["t"]
+    assert not timer.active
+
+
+def test_timer_active_until_deadline():
+    scheduler = Scheduler(seed=1)
+    states = []
+    timer = scheduler.set_timer(5.0, lambda: None)
+    scheduler.call_at(2.0, lambda: states.append(timer.active))
+    scheduler.call_at(6.0, lambda: states.append(timer.active))
+    scheduler.run()
+    assert states == [True, False]
