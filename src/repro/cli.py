@@ -153,6 +153,58 @@ def cmd_run(args) -> int:
     return 0 if not violations else 2
 
 
+def cmd_live(args) -> int:
+    """Run the protocol over real localhost TCP sockets (live mode)."""
+    from repro.analysis.complexity import live_decision_costs
+    from repro.runtime.live import LiveCluster
+
+    config = preset(args.protocol).config(args.n, round_timeout=args.timeout)
+    cluster = LiveCluster(
+        n=args.n,
+        seed=args.seed,
+        preload=args.preload,
+        durable=args.durable,
+        config=config,
+    )
+    report = cluster.run(
+        target_commits=args.commits,
+        timeout=args.duration,
+        force_fallback=args.force_fallback,
+    )
+    assert cluster.metrics is not None
+    costs = live_decision_costs(cluster.metrics)
+    payload = {
+        "mode": "live",
+        "protocol": args.protocol,
+        "n": args.n,
+        "seed": args.seed,
+        "decisions": report.decisions,
+        "min_honest_height": report.min_honest_height,
+        "fallbacks": report.fallbacks,
+        "wall_seconds": report.wall_seconds,
+        "encoded_bytes": report.encoded_bytes,
+        "bytes_per_decision": costs.bytes_per_decision,
+        "messages_per_decision": costs.messages_per_decision,
+        "messages_dropped": report.messages_dropped,
+        "ledgers_consistent": report.ledgers_consistent,
+        "timed_out": report.timed_out,
+        "transport": report.transport,
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"decisions: {report.decisions} (min height {report.min_honest_height})")
+        print(f"fallbacks entered: {report.fallbacks}")
+        print(f"wall time: {report.wall_seconds:.2f}s")
+        print(f"encoded bytes: {report.encoded_bytes}"
+              f" ({fmt_cost(costs.bytes_per_decision)}/decision)")
+        print(f"transport: {report.transport}")
+        print(f"ledgers consistent: {report.ledgers_consistent}")
+        if report.timed_out:
+            print("TIMED OUT before reaching the commit target")
+    return 0 if report.ok else 2
+
+
 def cmd_table1(args) -> int:
     rows = []
     for name in sorted(PROTOCOLS):
@@ -225,6 +277,24 @@ def build_parser() -> argparse.ArgumentParser:
                      help="e.g. 0:withhold or 2:crash@25 (repeatable)")
     run.add_argument("--json", action="store_true")
 
+    live = sub.add_parser(
+        "live", help="run the protocol over real localhost TCP sockets"
+    )
+    live.add_argument("--protocol", default="fallback-3chain", choices=sorted(PROTOCOLS))
+    live.add_argument("--n", type=int, default=4)
+    live.add_argument("--seed", type=int, default=0)
+    live.add_argument("--commits", type=int, default=20,
+                      help="stop once every replica committed this many blocks")
+    live.add_argument("--duration", type=float, default=60.0,
+                      help="wall-clock budget in seconds")
+    live.add_argument("--timeout", type=float, default=1.0, help="round timeout (s)")
+    live.add_argument("--preload", type=int, default=1000)
+    live.add_argument("--force-fallback", action="store_true",
+                      help="stall Proposals mid-run to force a real view change")
+    live.add_argument("--durable", action="store_true",
+                      help="run DurableReplica (journaled safety state)")
+    live.add_argument("--json", action="store_true")
+
     table1 = sub.add_parser("table1", help="reproduce Table 1")
     table1.add_argument("--n", type=int, default=4)
     table1.add_argument("--seed", type=int, default=1)
@@ -245,6 +315,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_protocols(args)
     if args.command == "run":
         return cmd_run(args)
+    if args.command == "live":
+        return cmd_live(args)
     if args.command == "table1":
         return cmd_table1(args)
     if args.command == "scaling":

@@ -145,8 +145,8 @@ class Replica(Process):
         # Client transactions awaiting a commit reply: tx_id -> client id.
         self._tx_origin: dict[str, int] = {}
 
-        # In-flight block sync: block_id -> (cert, attempts so far).
-        self._sync_attempts: dict[str, tuple[AnyCert, int]] = {}
+        # In-flight block sync: block_id -> (cert, attempts so far, deep gap).
+        self._sync_attempts: dict[str, tuple[AnyCert, int, bool]] = {}
 
         # View-change engine (imported here to avoid module cycles).
         from repro.core.fallback import FallbackEngine
@@ -428,7 +428,13 @@ class Replica(Process):
     # ------------------------------------------------------------------
     # Block synchronization (catch-up)
     # ------------------------------------------------------------------
-    def _note_missing_block(self, cert: AnyCert) -> None:
+    def _note_missing_block(self, cert: AnyCert, deep: bool = False) -> None:
+        """Record a certified-but-missing block and start fetching it.
+
+        ``deep=True`` marks gaps found while walking ancestry (recovery /
+        long partitions): those go straight to range sync, since more of the
+        chain is almost certainly missing below them.
+        """
         self._pending_certs.append(cert)
         if not self.config.sync_missing_blocks:
             return
@@ -436,23 +442,31 @@ class Replica(Process):
         if block_id in self._requested_blocks:
             return
         self._requested_blocks.add(block_id)
-        self._sync_attempts[block_id] = (cert, 0)
-        self._send_block_request(cert, attempt=0)
+        self._sync_attempts[block_id] = (cert, 0, deep)
+        self._send_block_request(cert, attempt=0, deep=deep)
 
-    def _send_block_request(self, cert: AnyCert, attempt: int) -> None:
+    def _send_block_request(self, cert: AnyCert, attempt: int, deep: bool) -> None:
         """Ask a peer for a missing block, rotating peers across retries.
 
         The first attempt targets the block's likely author; later attempts
         (and the case where we *are* the author — e.g. our own pre-crash
         blocks) walk the other replicas round-robin.
+
+        The common case — one missed proposal, parent already present — is
+        served by a single-block :class:`BlockRequest`.  Deep gaps and
+        retries escalate to :class:`ChainRequest` range sync: one round trip
+        brings the block plus a chunk of its ancestry, so deep catch-up is
+        O(chain / max_blocks) round trips.
         """
         block_id = cert.block_id
         target = (self._likely_holder(cert) + attempt) % self.config.n
         if target == self.process_id:
             target = (target + 1) % self.config.n
-        # Range sync: one round trip brings the block plus a chunk of its
-        # ancestry, so deep catch-up is O(chain / max_blocks) round trips.
-        self.network.send(self.process_id, target, ChainRequest(block_id))
+        if deep or attempt > 0:
+            request: object = ChainRequest(block_id)
+        else:
+            request = BlockRequest(block_id)
+        self.network.send(self.process_id, target, request)
         self.set_timer(SYNC_TIMER_PREFIX + block_id, self.config.round_timeout)
 
     def _retry_block_request(self, block_id: str) -> None:
@@ -460,9 +474,9 @@ class Replica(Process):
         if entry is None or block_id in self.store:
             self._sync_attempts.pop(block_id, None)
             return
-        cert, attempt = entry
-        self._sync_attempts[block_id] = (cert, attempt + 1)
-        self._send_block_request(cert, attempt + 1)
+        cert, attempt, deep = entry
+        self._sync_attempts[block_id] = (cert, attempt + 1, deep)
+        self._send_block_request(cert, attempt + 1, deep)
 
     def _likely_holder(self, cert: AnyCert) -> int:
         """Who to ask for a missing certified block: its author."""
@@ -526,7 +540,7 @@ class Replica(Process):
                 # chase the deepest missing link, not just the parent.
                 gap_cert = self._deepest_missing_link(block)
                 if gap_cert is not None:
-                    self._note_missing_block(gap_cert)
+                    self._note_missing_block(gap_cert, deep=True)
             else:
                 self._pending_certs.append(cert)
         if progressed:

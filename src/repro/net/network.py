@@ -186,13 +186,32 @@ class Network:
         try:
             return int(message.wire_size())
         except AttributeError:
+            size = _codec_size(message)
+            if size is not None:
+                return size
             self.untyped_messages += 1
             return 64  # conservative default for untyped test messages
 
 
+def _codec_size(message: object):
+    """Real encoded size for messages registered with the wire codec.
+
+    Imported lazily: the codec pulls in the client message types, whose
+    module imports this one.  Only consulted for messages without a
+    modeled ``wire_size()`` — the common protocol types never reach it.
+    """
+    try:
+        from repro.wire.codec import try_encoded_size
+    except ImportError:
+        return None
+    return try_encoded_size(message)
+
+
 def _wire_size(message: object) -> int:
-    """Wire size of a message, defaulting untyped ones to 64 bytes."""
+    """Wire size of a message: modeled if typed, codec-derived if the codec
+    knows the type, else the 64-byte default."""
     wire_size = getattr(message, "wire_size", None)
     if callable(wire_size):
         return int(wire_size())
-    return 64
+    size = _codec_size(message)
+    return size if size is not None else 64

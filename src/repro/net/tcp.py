@@ -1,0 +1,271 @@
+"""Asyncio TCP transport: one listener per replica, reconnecting peers.
+
+This is the live counterpart of the simulated :class:`~repro.net.network.
+Network` wire: a :class:`TcpTransport` owns one node's listening socket and
+one outbound channel per peer.  Outbound channels dial lazily, reconnect
+with exponential backoff, and buffer sends in a bounded per-peer queue —
+when the queue is full the *newest* message is dropped and counted
+(protocol correctness never depends on delivery: timeouts and the
+certificate-driven catch-up path recover, exactly as they do under the
+simulator's loss models).
+
+Authentication mirrors the simulated network's "the receiver learns the
+true sender" guarantee: every outbound connection opens with a HELLO frame
+(magic, wire version, dialer id), and each subsequent payload's envelope
+sender must match the handshake identity or the message is discarded.
+Localhost TCP stands in for the authenticated channels the paper assumes;
+a real deployment would put TLS or a MAC in the envelope's auth slot.
+
+Error containment follows the framing contract: a payload that fails
+:func:`~repro.wire.codec.decode_message` poisons only that one message
+(counted, connection kept); a framing violation loses stream sync, so the
+connection is dropped and the dialer's reconnect loop rebuilds it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Callable, Optional
+
+from repro.wire.codec import DecodeError, WIRE_VERSION, decode_message
+from repro.wire.framing import FrameError, encode_frame, read_frame
+
+#: HELLO payload: magic, wire version, dialer node id.
+_HELLO = struct.Struct(">4sBq")
+_MAGIC = b"RPRO"
+
+#: Reconnect backoff bounds (seconds).
+_BACKOFF_INITIAL = 0.05
+_BACKOFF_MAX = 1.0
+
+#: Delivery callback: (peer_id, message).
+MessageHandler = Callable[[int, object], None]
+
+
+class _PeerChannel:
+    """Reconnecting outbound channel to one peer with a bounded send queue."""
+
+    def __init__(
+        self, transport: "TcpTransport", peer_id: int, host: str, port: int
+    ) -> None:
+        self.transport = transport
+        self.peer_id = peer_id
+        self.host = host
+        self.port = port
+        self.queue: asyncio.Queue[Optional[bytes]] = asyncio.Queue(
+            maxsize=transport.queue_limit
+        )
+        self.task: Optional[asyncio.Task] = None
+        self._closed = False
+
+    def start(self) -> None:
+        self.task = asyncio.get_running_loop().create_task(
+            self._run(), name=f"tcp-send:{self.transport.node_id}->{self.peer_id}"
+        )
+
+    def send(self, payload: bytes) -> bool:
+        """Enqueue one payload; drop-newest on backpressure."""
+        if self._closed:
+            return False
+        try:
+            self.queue.put_nowait(payload)
+            return True
+        except asyncio.QueueFull:
+            self.transport.dropped_backpressure += 1
+            return False
+
+    async def _run(self) -> None:
+        backoff = _BACKOFF_INITIAL
+        while not self._closed:
+            try:
+                reader, writer = await asyncio.open_connection(self.host, self.port)
+            except OSError:
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, _BACKOFF_MAX)
+                continue
+            backoff = _BACKOFF_INITIAL
+            try:
+                writer.write(
+                    encode_frame(
+                        _HELLO.pack(_MAGIC, WIRE_VERSION, self.transport.node_id)
+                    )
+                )
+                await writer.drain()
+                while True:
+                    payload = await self.queue.get()
+                    if payload is None:
+                        return
+                    writer.write(encode_frame(payload))
+                    await writer.drain()
+                    self.transport.frames_sent += 1
+                    self.transport.bytes_sent += len(payload)
+            except (ConnectionError, OSError):
+                self.transport.reconnects += 1
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+    async def close(self) -> None:
+        self._closed = True
+        if self.task is None:
+            return
+        # Unblock the sender loop; if it's mid-reconnect, cancel instead.
+        try:
+            self.queue.put_nowait(None)
+        except asyncio.QueueFull:
+            pass
+        try:
+            await asyncio.wait_for(asyncio.shield(self.task), timeout=0.5)
+        except (asyncio.TimeoutError, asyncio.CancelledError):
+            self.task.cancel()
+            try:
+                await self.task
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass
+
+
+class TcpTransport:
+    """One node's TCP endpoint: a listener plus per-peer outbound channels.
+
+    Usage::
+
+        transport = TcpTransport(node_id=0, on_message=handler)
+        host, port = await transport.start()      # bind (port 0 = ephemeral)
+        transport.add_peer(1, "127.0.0.1", 9001)  # dials lazily
+        transport.send(1, payload_bytes)          # queued, framed, shipped
+        await transport.close()
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        on_message: MessageHandler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        queue_limit: int = 1024,
+    ) -> None:
+        self.node_id = node_id
+        self.on_message = on_message
+        self.host = host
+        self.port = port
+        self.queue_limit = queue_limit
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._channels: dict[int, _PeerChannel] = {}
+        self._inbound_tasks: set[asyncio.Task] = set()
+        self._closed = False
+        # Counters (read by LiveNetwork reports and the transport tests).
+        self.frames_sent = 0
+        self.bytes_sent = 0
+        self.frames_received = 0
+        self.bytes_received = 0
+        self.decode_errors = 0
+        self.frame_errors = 0
+        self.auth_failures = 0
+        self.dropped_backpressure = 0
+        self.reconnects = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind the listener; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_inbound, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.host, self.port
+
+    def add_peer(self, peer_id: int, host: str, port: int) -> None:
+        if peer_id in self._channels:
+            raise ValueError(f"peer {peer_id} already added")
+        channel = _PeerChannel(self, peer_id, host, port)
+        self._channels[peer_id] = channel
+        channel.start()
+
+    async def close(self) -> None:
+        """Stop the listener, drain channels, cancel inbound readers."""
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for channel in self._channels.values():
+            await channel.close()
+        for task in list(self._inbound_tasks):
+            task.cancel()
+        if self._inbound_tasks:
+            await asyncio.gather(*self._inbound_tasks, return_exceptions=True)
+        self._inbound_tasks.clear()
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, peer_id: int, payload: bytes) -> bool:
+        """Queue ``payload`` (already codec-encoded) for ``peer_id``."""
+        channel = self._channels.get(peer_id)
+        if channel is None:
+            raise KeyError(f"no channel to peer {peer_id}")
+        return channel.send(payload)
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    async def _handle_inbound(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._inbound_tasks.add(task)
+            task.add_done_callback(self._inbound_tasks.discard)
+        try:
+            peer_id = await self._handshake(reader)
+            if peer_id is None:
+                return
+            while not self._closed:
+                payload = await read_frame(reader)
+                self.frames_received += 1
+                self.bytes_received += len(payload)
+                try:
+                    sender, message = decode_message(payload)
+                except DecodeError:
+                    # One poisoned message; the stream is still in sync.
+                    self.decode_errors += 1
+                    continue
+                if sender != peer_id:
+                    self.auth_failures += 1
+                    continue
+                self.on_message(peer_id, message)
+        except FrameError:
+            self.frame_errors += 1
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass  # peer went away (or is reconnecting); server keeps running
+        except asyncio.CancelledError:
+            # Our own shutdown cancels readers; completing normally here
+            # keeps asyncio.streams' done-callback from re-raising.  A
+            # cancellation from anywhere else must still propagate.
+            if not self._closed:
+                raise
+            if task is not None:
+                task.uncancel()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handshake(self, reader: asyncio.StreamReader) -> Optional[int]:
+        """Read and validate the HELLO frame; returns the peer id or None."""
+        try:
+            payload = await read_frame(reader)
+            magic, version, peer_id = _HELLO.unpack(payload)
+        except (FrameError, asyncio.IncompleteReadError, struct.error):
+            self.auth_failures += 1
+            return None
+        if magic != _MAGIC or version != WIRE_VERSION:
+            self.auth_failures += 1
+            return None
+        return peer_id

@@ -69,6 +69,9 @@ class MetricsCollector(ReplicaObserver):
         self.message_bytes: Counter = Counter()
         self.honest_messages = 0
         self.honest_bytes = 0
+        #: Real codec-encoded bytes (live mode only; 0 under the simulator,
+        #: where byte figures come from modeled wire_size()).
+        self.encoded_bytes = 0
         self.commits: list[CommitEvent] = []
         self.fallback_events: list[FallbackEvent] = []
         self.timeouts: list[tuple[int, int, int, float]] = []
@@ -113,6 +116,20 @@ class MetricsCollector(ReplicaObserver):
         self.message_bytes[name] += size
         self.honest_messages += 1
         self.honest_bytes += size
+
+    def on_wire_send(
+        self, sender: int, receiver: int, message: object, time: float, size: int
+    ) -> None:
+        """Live-network hook: like :meth:`on_send` but billed at the *real*
+        encoded frame size instead of the modeled ``wire_size()``."""
+        if sender not in self.honest_ids:
+            return
+        name = type(message).__name__
+        self.message_counts[name] += 1
+        self.message_bytes[name] += size
+        self.honest_messages += 1
+        self.honest_bytes += size
+        self.encoded_bytes += size
 
     def on_channel_event(
         self, kind: str, sender: int, receiver: int, packet: object, time: float

@@ -2,19 +2,24 @@
 
 A :class:`Process` is anything that can receive messages from the network and
 set timers on the scheduler.  Replicas, clients and fault wrappers are all
-processes.  Handlers run atomically: the engine processes one delivery at a
-time, so handlers never need locks.
+processes.  Handlers run atomically: both runtimes process one delivery at a
+time (the discrete-event engine by construction, the live runtime because
+asyncio callbacks are serialized on one loop), so handlers never need locks.
+
+Processes depend only on the :class:`repro.sim.timers.TimerScheduler`
+interface — the simulated :class:`~repro.sim.scheduler.Scheduler` and the
+live runtime's wall-clock scheduler are interchangeable here.
 """
 
 from __future__ import annotations
 
 from typing import Any, Optional
 
-from repro.sim.scheduler import Scheduler, Timer
+from repro.sim.timers import TimerHandle, TimerScheduler
 
 
 class Process:
-    """Base class for simulated actors.
+    """Base class for protocol actors (simulated or live).
 
     Subclasses override :meth:`on_message` and may use :meth:`set_timer` /
     :meth:`cancel_timer` with named slots (a fresh timer for a name replaces
@@ -22,10 +27,10 @@ class Process:
     the paper's pseudocode).
     """
 
-    def __init__(self, process_id: int, scheduler: Scheduler) -> None:
+    def __init__(self, process_id: int, scheduler: TimerScheduler) -> None:
         self.process_id = process_id
         self.scheduler = scheduler
-        self._timers: dict[str, Timer] = {}
+        self._timers: dict[str, TimerHandle] = {}
         self.crashed = False
 
     # ------------------------------------------------------------------

@@ -1,5 +1,16 @@
 """The simulation scheduler: clock, timers, seeded randomness, run loop.
 
+The run loop drains a :class:`~repro.sim.events.EventQueue` — a
+``(time, sequence, event)`` tuple heap with lazy cancellation (cancelled
+entries stay on the heap and are skipped on pop), an O(1) live-event count,
+and insertion-order tie-breaking so same-instant events fire
+deterministically.  :class:`Timer` is a thin cancellation handle over one
+heap event; it implements the :class:`repro.sim.timers.TimerHandle`
+interface, and :class:`Scheduler` implements
+:class:`repro.sim.timers.TimerScheduler` — the same interface the live
+runtime's wall-clock scheduler provides, which is what lets unchanged
+replica code run against either clock.
+
 The scheduler owns the single source of randomness for a run.  Network delay
 models, workload generators and the common coin all draw from
 :attr:`Scheduler.rng` (or children derived from it), so a run is a pure
@@ -19,7 +30,14 @@ class SimulationError(RuntimeError):
 
 
 class Timer:
-    """Handle for a scheduled timer; supports cancellation and queries."""
+    """Handle for a scheduled timer (the sim's ``TimerHandle``).
+
+    Wraps one heap :class:`~repro.sim.events.Event`.  Cancellation is lazy:
+    it only flags the event (the queue skips flagged entries when they
+    surface), so cancel is O(1) and never reshuffles the heap.  ``active``
+    reads the event's ``cancelled``/``fired`` flags — it goes False both on
+    cancellation and after the timer fires.
+    """
 
     def __init__(self, event: Event) -> None:
         self._event = event

@@ -1,0 +1,58 @@
+"""The timer interface shared by the simulated and live runtimes.
+
+:class:`~repro.sim.process.Process` (and therefore every replica) talks to
+its scheduler exclusively through this narrow surface: a monotonically
+non-decreasing ``now`` and ``set_timer`` returning a cancellable handle.
+Two implementations exist:
+
+- :class:`repro.sim.scheduler.Scheduler` — the deterministic discrete-event
+  engine (a ``(time, sequence, event)`` tuple heap with lazy cancellation);
+  ``now`` is simulated time and timers are heap events.
+- :class:`repro.runtime.live.WallClockScheduler` — the live runtime's
+  asyncio-backed scheduler; ``now`` is wall-clock seconds since cluster
+  start and timers are ``loop.call_later`` handles.
+
+Replica logic is identical under both: the protocol never observes which
+clock is driving it.  Keep this interface minimal — anything added here
+must be implementable against a real clock, where "peek at the next event"
+or "run until quiescent" have no meaning.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class TimerHandle(Protocol):
+    """Handle for one armed timer.
+
+    ``active`` is True only while the timer can still fire: it becomes
+    False after :meth:`cancel` *and* after the timer fires (a fired timer
+    is spent either way).
+    """
+
+    @property
+    def deadline(self) -> float:
+        """Absolute scheduler time at which the timer fires."""
+
+    @property
+    def active(self) -> bool:
+        """True while the timer is pending (not cancelled, not fired)."""
+
+    def cancel(self) -> None:
+        """Prevent the timer from firing.  Idempotent; safe after firing."""
+
+
+@runtime_checkable
+class TimerScheduler(Protocol):
+    """What a process needs from its runtime: a clock and cancellable timers."""
+
+    @property
+    def now(self) -> float:
+        """Current scheduler time (simulated or wall-clock seconds)."""
+
+    def set_timer(
+        self, delay: float, action: Callable[[], None], label: str = "timer"
+    ) -> TimerHandle:
+        """Arm ``action`` to run ``delay`` from now; returns its handle."""

@@ -1,0 +1,45 @@
+"""Wire subsystem: deterministic binary codec + length-prefixed framing.
+
+``repro.wire.codec`` turns every protocol message (and the certificates,
+blocks and transactions inside them) into canonical versioned bytes and
+back; ``repro.wire.framing`` delimits those byte strings on a stream
+transport.  The live runtime (`repro.runtime.live`) ships codec output over
+real TCP sockets, and `encoded_size` supersedes the hand-maintained
+``wire_size()`` estimates wherever real byte counts are available.
+"""
+
+from repro.wire.codec import (
+    CodecError,
+    DecodeError,
+    EncodeError,
+    WIRE_VERSION,
+    decode_message,
+    encode_message,
+    encoded_size,
+    has_codec_entry,
+    try_encoded_size,
+)
+from repro.wire.framing import (
+    FRAME_HEADER_SIZE,
+    MAX_FRAME_SIZE,
+    FrameDecoder,
+    FrameError,
+    encode_frame,
+)
+
+__all__ = [
+    "CodecError",
+    "DecodeError",
+    "EncodeError",
+    "WIRE_VERSION",
+    "decode_message",
+    "encode_message",
+    "encoded_size",
+    "has_codec_entry",
+    "try_encoded_size",
+    "FRAME_HEADER_SIZE",
+    "MAX_FRAME_SIZE",
+    "FrameDecoder",
+    "FrameError",
+    "encode_frame",
+]

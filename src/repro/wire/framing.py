@@ -1,0 +1,94 @@
+"""Length-prefixed framing for codec messages on stream transports.
+
+A frame is a 4-byte big-endian unsigned length followed by that many
+payload bytes (one encoded message).  The decoder is incremental — feed it
+arbitrary chunk boundaries and it yields complete payloads — and hostile-
+input safe: a length of zero or above :data:`MAX_FRAME_SIZE` raises
+:class:`FrameError` immediately, before any allocation, so a garbage
+4-byte header cannot make the receiver buffer gigabytes.  Framing errors
+are not recoverable (the stream position is lost); transports must drop
+the connection, unlike payload-level :class:`~repro.wire.codec.DecodeError`
+which poisons only the one message.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Iterator
+
+#: Bytes of length prefix before each payload.
+FRAME_HEADER_SIZE = 4
+
+#: Hard ceiling on one frame's payload (16 MiB); beyond this is garbage.
+MAX_FRAME_SIZE = 1 << 24
+
+_LEN = struct.Struct(">I")
+
+
+class FrameError(ValueError):
+    """A malformed frame header; the stream is unrecoverable past it."""
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Wrap ``payload`` in a length prefix."""
+    if len(payload) == 0:
+        raise FrameError("empty frame payload")
+    if len(payload) > MAX_FRAME_SIZE:
+        raise FrameError(f"frame payload too large: {len(payload)} bytes")
+    return _LEN.pack(len(payload)) + payload
+
+
+def _check_length(length: int) -> int:
+    if length == 0:
+        raise FrameError("zero-length frame")
+    if length > MAX_FRAME_SIZE:
+        raise FrameError(f"frame length {length} exceeds maximum {MAX_FRAME_SIZE}")
+    return length
+
+
+class FrameDecoder:
+    """Incremental frame parser for a byte stream.
+
+    Call :meth:`feed` with each received chunk and iterate the returned
+    payloads.  State persists across calls, so frames may straddle chunk
+    boundaries arbitrarily.  After a :class:`FrameError` the decoder state
+    is undefined; drop the connection and start fresh.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def buffered(self) -> int:
+        """Bytes held waiting for a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, chunk: bytes) -> Iterator[bytes]:
+        self._buffer += chunk
+        while True:
+            if len(self._buffer) < FRAME_HEADER_SIZE:
+                return
+            length = _check_length(_LEN.unpack_from(self._buffer)[0])
+            end = FRAME_HEADER_SIZE + length
+            if len(self._buffer) < end:
+                return
+            payload = bytes(self._buffer[FRAME_HEADER_SIZE:end])
+            del self._buffer[:end]
+            yield payload
+
+
+async def read_frame(reader: asyncio.StreamReader) -> bytes:
+    """Read one complete frame from an asyncio stream.
+
+    Raises :class:`asyncio.IncompleteReadError` on clean EOF between
+    frames (and mid-frame), and :class:`FrameError` on a bad length.
+    """
+    header = await reader.readexactly(FRAME_HEADER_SIZE)
+    length = _check_length(_LEN.unpack(header)[0])
+    return await reader.readexactly(length)
+
+
+def write_frame(writer: asyncio.StreamWriter, payload: bytes) -> None:
+    """Queue one frame on an asyncio stream writer (caller drains)."""
+    writer.write(encode_frame(payload))

@@ -1,0 +1,180 @@
+"""TcpTransport: handshake auth, error containment, backpressure, shutdown.
+
+pytest-asyncio is not available in this environment, so each test drives
+its own event loop via ``asyncio.run``.
+"""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.crypto.hashing import hash_fields
+from repro.net.tcp import _HELLO, _MAGIC, TcpTransport
+from repro.types.messages import BlockRequest
+from repro.wire.codec import WIRE_VERSION, encode_message
+from repro.wire.framing import encode_frame
+
+
+async def _wait_for(predicate, timeout=5.0, interval=0.01):
+    """Poll ``predicate`` until true or fail the test after ``timeout``."""
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not predicate():
+        if asyncio.get_running_loop().time() > deadline:
+            pytest.fail("condition not reached before timeout")
+        await asyncio.sleep(interval)
+
+
+def _sample_message(n=0):
+    return BlockRequest(block_id=hash_fields("tcp-test", n))
+
+
+async def _start_pair(queue_limit=1024):
+    """Two transports wired into a full mesh; returns (a, b, inbox_a, inbox_b)."""
+    inboxes = {0: [], 1: []}
+    a = TcpTransport(0, lambda p, m: inboxes[0].append((p, m)), queue_limit=queue_limit)
+    b = TcpTransport(1, lambda p, m: inboxes[1].append((p, m)), queue_limit=queue_limit)
+    host_a, port_a = await a.start()
+    host_b, port_b = await b.start()
+    a.add_peer(1, host_b, port_b)
+    b.add_peer(0, host_a, port_a)
+    return a, b, inboxes[0], inboxes[1]
+
+
+def test_mesh_round_trip():
+    async def go():
+        a, b, inbox_a, inbox_b = await _start_pair()
+        try:
+            sent = [_sample_message(i) for i in range(5)]
+            for m in sent:
+                assert a.send(1, encode_message(0, m))
+            b.send(0, encode_message(1, _sample_message(99)))
+            await _wait_for(lambda: len(inbox_b) == 5 and len(inbox_a) == 1)
+            assert [m for _, m in inbox_b] == sent
+            assert all(peer == 0 for peer, _ in inbox_b)
+            assert inbox_a == [(1, _sample_message(99))]
+            assert a.frames_sent == 5 and b.frames_received == 5
+        finally:
+            await a.close()
+            await b.close()
+
+    asyncio.run(go())
+
+
+def test_envelope_sender_must_match_handshake():
+    async def go():
+        a, b, _, inbox_b = await _start_pair()
+        try:
+            # Node 0 claims to be node 1 inside the envelope: discarded.
+            assert a.send(1, encode_message(1, _sample_message()))
+            a.send(1, encode_message(0, _sample_message(1)))
+            await _wait_for(lambda: len(inbox_b) == 1)
+            assert b.auth_failures == 1
+            assert inbox_b == [(0, _sample_message(1))]
+        finally:
+            await a.close()
+            await b.close()
+
+    asyncio.run(go())
+
+
+def test_decode_error_counted_and_connection_survives():
+    async def go():
+        a, b, _, inbox_b = await _start_pair()
+        try:
+            a.send(1, b"\xde\xad\xbe\xef")  # undecodable payload
+            a.send(1, encode_message(0, _sample_message(2)))
+            await _wait_for(lambda: len(inbox_b) == 1)
+            assert b.decode_errors == 1
+            assert b.frames_received == 2  # garbage arrived, was contained
+            assert inbox_b == [(0, _sample_message(2))]
+        finally:
+            await a.close()
+            await b.close()
+
+    asyncio.run(go())
+
+
+def test_frame_violation_drops_connection():
+    async def go():
+        inbox = []
+        t = TcpTransport(0, lambda p, m: inbox.append((p, m)))
+        host, port = await t.start()
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(encode_frame(_HELLO.pack(_MAGIC, WIRE_VERSION, 5)))
+            # Length far beyond MAX_FRAME_SIZE: stream sync is unrecoverable.
+            writer.write(struct.pack(">I", 0xFFFFFFFF))
+            await writer.drain()
+            await _wait_for(lambda: t.frame_errors == 1)
+            # The server closed its side of the stream.
+            assert await reader.read() == b""
+            writer.close()
+            await writer.wait_closed()
+            assert inbox == []
+        finally:
+            await t.close()
+
+    asyncio.run(go())
+
+
+def test_bad_handshake_rejected():
+    async def go():
+        t = TcpTransport(0, lambda p, m: None)
+        host, port = await t.start()
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(encode_frame(_HELLO.pack(b"NOPE", WIRE_VERSION, 5)))
+            await writer.drain()
+            await _wait_for(lambda: t.auth_failures == 1)
+            assert await reader.read() == b""
+            writer.close()
+            await writer.wait_closed()
+        finally:
+            await t.close()
+
+    asyncio.run(go())
+
+
+def test_backpressure_drops_newest():
+    async def go():
+        t = TcpTransport(0, lambda p, m: None, queue_limit=2)
+        await t.start()
+        try:
+            # Peer 9 is never reachable: sends pile up in the queue.
+            t.add_peer(9, "127.0.0.1", 1)  # port 1: connection refused
+            payload = encode_message(0, _sample_message())
+            assert t.send(9, payload)
+            assert t.send(9, payload)
+            assert not t.send(9, payload)  # queue full -> dropped, reported
+            assert t.dropped_backpressure == 1
+        finally:
+            await t.close()
+
+    asyncio.run(go())
+
+
+def test_unknown_peer_raises():
+    async def go():
+        t = TcpTransport(0, lambda p, m: None)
+        await t.start()
+        try:
+            with pytest.raises(KeyError):
+                t.send(42, b"payload")
+        finally:
+            await t.close()
+
+    asyncio.run(go())
+
+
+def test_close_is_clean_and_idempotent_send_refused():
+    async def go():
+        a, b, _, inbox_b = await _start_pair()
+        a.send(1, encode_message(0, _sample_message()))
+        await _wait_for(lambda: len(inbox_b) == 1)
+        await a.close()
+        await b.close()
+        # After close the channel refuses quietly instead of queueing.
+        assert a.send(1, b"late") is False
+
+    asyncio.run(go())

@@ -1,0 +1,101 @@
+"""Shared sample objects for the wire tests: one instance per message shape."""
+
+import pytest
+
+from repro.client.client import ClientReply, ClientRequest
+from repro.crypto.coin import CoinShare
+from repro.crypto.hashing import hash_fields
+from repro.crypto.threshold import ThresholdSignature, ThresholdSignatureShare
+from repro.types.blocks import Block, FallbackBlock, genesis_block
+from repro.types.certificates import (
+    CoinQC,
+    EndorsedFallbackQC,
+    FallbackQC,
+    FallbackTC,
+    QC,
+    TimeoutCertificate,
+)
+from repro.types.messages import (
+    BlockRequest,
+    BlockResponse,
+    ChainRequest,
+    ChainResponse,
+    CoinQCMessage,
+    CoinShareMessage,
+    FallbackProposal,
+    FallbackQCMessage,
+    FallbackTCMessage,
+    FallbackTimeout,
+    FallbackVote,
+    PacemakerTCMessage,
+    PacemakerTimeout,
+    Proposal,
+    Vote,
+)
+from repro.types.transactions import Batch, make_transaction
+
+
+@pytest.fixture(scope="module")
+def samples():
+    tag = hash_fields("wire-test")
+    tsig = ThresholdSignature(epoch=3, tag=tag, signers=frozenset({0, 1, 2}))
+    share = ThresholdSignatureShare(signer=1, epoch=3, tag=tag)
+    qc = QC(block_id=hash_fields("b"), round=5, view=1, signature=tsig)
+    fqc = FallbackQC(
+        block_id=hash_fields("fb"), round=6, view=2, height=2, proposer=3,
+        signature=tsig,
+    )
+    coin_qc = CoinQC(view=2, leader=3, proof_tag=tag)
+    endorsed = EndorsedFallbackQC(fqc=fqc, coin_qc=coin_qc)
+    tc = TimeoutCertificate(round=7, signature=tsig)
+    ftc = FallbackTC(view=2, signature=tsig)
+    batch = Batch.of(
+        [make_transaction(i, client=9, submitted_at=1.5) for i in range(3)]
+    )
+    block = Block(qc=qc, round=6, view=1, batch=batch, author=2)
+    fblock = FallbackBlock(
+        qc=fqc, round=7, view=2, height=3, proposer=3, batch=batch
+    )
+    messages = [
+        Proposal(block=block),
+        Proposal(block=Block(qc=endorsed, round=8, view=2, batch=batch, author=0)),
+        Vote(block_id=block.id, round=6, view=1, share=share),
+        PacemakerTimeout(round=6, share=share, qc_high=qc),
+        PacemakerTimeout(round=6, share=share, qc_high=endorsed),
+        PacemakerTCMessage(tc=tc, qc_high=qc),
+        FallbackTimeout(view=2, share=share, qc_high=endorsed),
+        FallbackTCMessage(ftc=ftc),
+        FallbackProposal(fblock=fblock),  # optional ftc absent
+        FallbackProposal(
+            fblock=FallbackBlock(
+                qc=qc, round=7, view=2, height=1, proposer=3, batch=batch
+            ),
+            ftc=ftc,  # optional ftc present (height-1 entry proposal)
+        ),
+        FallbackVote(
+            block_id=fblock.id, round=7, view=2, height=3, proposer=3, share=share
+        ),
+        FallbackQCMessage(fqc=fqc),
+        CoinShareMessage(share=CoinShare(signer=2, view=4, epoch=3, tag=tag)),
+        CoinQCMessage(coin_qc=coin_qc),
+        BlockRequest(block_id=block.id),
+        BlockResponse(block=block),
+        BlockResponse(block=fblock),
+        BlockResponse(block=genesis_block()),
+        ChainRequest(block_id=block.id),
+        ChainRequest(block_id=block.id, max_blocks=7),
+        ChainResponse(blocks=(block, fblock, genesis_block())),
+        ChainResponse(blocks=()),
+        ClientRequest(transaction=make_transaction(0, client=8, submitted_at=0.25)),
+        ClientReply(tx_id="tx-8-0", position=12, block_id=block.id, replica=1),
+    ]
+    return {
+        "messages": messages,
+        "block": block,
+        "fblock": fblock,
+        "qc": qc,
+        "fqc": fqc,
+        "coin_qc": coin_qc,
+        "tsig": tsig,
+        "batch": batch,
+    }

@@ -1,0 +1,216 @@
+"""Codec round-trips, hardening against malformed bytes, and the registry."""
+
+import dataclasses
+
+import pytest
+
+from repro.types.messages import MESSAGE_OVERHEAD, Vote
+from repro.wire.codec import (
+    DecodeError,
+    EncodeError,
+    EXTENSION_TAG_BASE,
+    WIRE_VERSION,
+    decode_message,
+    encode_message,
+    encoded_size,
+    has_codec_entry,
+    register_message,
+    try_encoded_size,
+    unregister_message,
+)
+
+
+# ----------------------------------------------------------------------
+# Round trips
+# ----------------------------------------------------------------------
+def test_every_message_type_round_trips(samples):
+    for message in samples["messages"]:
+        data = encode_message(7, message)
+        sender, decoded = decode_message(data)
+        assert sender == 7, type(message).__name__
+        assert decoded == message, type(message).__name__
+        assert type(decoded) is type(message)
+
+
+def test_encoding_is_deterministic(samples):
+    for message in samples["messages"]:
+        assert encode_message(3, message) == encode_message(3, message)
+
+
+def test_encoded_size_matches_actual_bytes(samples):
+    for message in samples["messages"]:
+        assert encoded_size(message, sender=2) == len(encode_message(2, message))
+
+
+def test_envelope_equals_modeled_overhead(samples):
+    # The codec envelope is exactly the modeled MESSAGE_OVERHEAD bytes.
+    vote = next(m for m in samples["messages"] if isinstance(m, Vote))
+    body = len(encode_message(0, vote)) - MESSAGE_OVERHEAD
+    assert body > 0
+    data = encode_message(0, vote)
+    assert data[0] == WIRE_VERSION
+    # sender occupies bytes 2..3 (i16 big-endian)
+    assert int.from_bytes(data[2:4], "big", signed=True) == 0
+
+
+def test_sender_range_round_trips(samples):
+    vote = next(m for m in samples["messages"] if isinstance(m, Vote))
+    for sender in (0, 1, 127, 32767, -1):
+        assert decode_message(encode_message(sender, vote))[0] == sender
+
+
+def test_decoded_blocks_preserve_content_hash(samples):
+    from repro.types.messages import BlockResponse
+
+    data = encode_message(1, BlockResponse(block=samples["block"]))
+    _, decoded = decode_message(data)
+    assert decoded.block.id == samples["block"].id
+
+
+# ----------------------------------------------------------------------
+# Hardening: every malformation raises DecodeError, nothing else
+# ----------------------------------------------------------------------
+def test_unknown_type_tag_rejected(samples):
+    data = bytearray(encode_message(0, samples["messages"][0]))
+    data[1] = 0xFE  # unregistered extension tag
+    with pytest.raises(DecodeError, match="unknown message type tag"):
+        decode_message(bytes(data))
+
+
+def test_wrong_version_rejected(samples):
+    data = bytearray(encode_message(0, samples["messages"][0]))
+    data[0] = WIRE_VERSION + 1
+    with pytest.raises(DecodeError, match="version"):
+        decode_message(bytes(data))
+
+
+def test_empty_and_tiny_inputs_rejected():
+    for data in (b"", b"\x01", b"\x01\x02\x00"):
+        with pytest.raises(DecodeError):
+            decode_message(data)
+
+
+def test_trailing_bytes_rejected(samples):
+    data = encode_message(0, samples["messages"][0])
+    with pytest.raises(DecodeError, match="trailing"):
+        decode_message(data + b"\x00")
+
+
+def test_nonzero_reserved_padding_rejected(samples):
+    data = bytearray(encode_message(0, samples["messages"][0]))
+    data[5] = 0xAA  # inside the 4-byte reserved envelope slot
+    with pytest.raises(DecodeError):
+        decode_message(bytes(data))
+
+
+def test_every_strict_prefix_rejected(samples):
+    """Truncation anywhere raises DecodeError (never a wrong object)."""
+    vote = next(m for m in samples["messages"] if isinstance(m, Vote))
+    data = encode_message(0, vote)
+    for cut in range(len(data)):
+        with pytest.raises(DecodeError):
+            decode_message(data[:cut])
+
+
+def test_block_id_tamper_rejected(samples):
+    from repro.types.messages import BlockResponse
+
+    data = bytearray(encode_message(0, BlockResponse(block=samples["block"])))
+    # The shipped block id starts right after the envelope + block tag.
+    data[MESSAGE_OVERHEAD + 1] ^= 0xFF
+    with pytest.raises(DecodeError, match="block id"):
+        decode_message(bytes(data))
+
+
+def test_constructor_validation_surfaces_as_decode_error(samples):
+    """An endorsement whose inner views disagree is a wire-format error."""
+    from repro.types.messages import PacemakerTimeout
+
+    message = next(
+        m
+        for m in samples["messages"]
+        if isinstance(m, PacemakerTimeout) and type(m.qc_high).__name__ != "QC"
+    )
+    data = bytearray(encode_message(0, message))
+    # Corrupting bytes inside the endorsed certificate (view numbers) must
+    # yield DecodeError, never a bare ValueError from __post_init__.
+    for offset in range(MESSAGE_OVERHEAD, len(data)):
+        mutated = bytearray(data)
+        mutated[offset] ^= 0x01
+        try:
+            decode_message(bytes(mutated))
+        except DecodeError:
+            pass  # expected for most offsets
+        except Exception as exc:  # pragma: no cover - the failure we guard
+            pytest.fail(f"offset {offset} raised {type(exc).__name__}: {exc}")
+
+
+def test_unencodable_message_raises_encode_error():
+    class Mystery:
+        pass
+
+    with pytest.raises(EncodeError, match="no codec entry"):
+        encode_message(0, Mystery())
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class _Ping:
+    nonce: int
+
+
+def _enc_ping(w, m):
+    w.i64(m.nonce)
+
+
+def _dec_ping(r):
+    return _Ping(nonce=r.i64())
+
+
+def test_extension_registration_round_trips():
+    register_message(_Ping, 0xF0, _enc_ping, _dec_ping)
+    try:
+        assert has_codec_entry(_Ping)
+        sender, decoded = decode_message(encode_message(5, _Ping(nonce=99)))
+        assert (sender, decoded) == (5, _Ping(nonce=99))
+    finally:
+        unregister_message(_Ping)
+    assert not has_codec_entry(_Ping)
+
+
+def test_extension_tags_must_be_above_core_range():
+    with pytest.raises(ValueError, match="reserved for core"):
+        register_message(_Ping, EXTENSION_TAG_BASE - 1, _enc_ping, _dec_ping)
+
+
+def test_duplicate_tag_and_type_rejected():
+    register_message(_Ping, 0xF1, _enc_ping, _dec_ping)
+    try:
+        with pytest.raises(ValueError, match="already registered"):
+            register_message(_Ping, 0xF2, _enc_ping, _dec_ping)
+
+        @dataclasses.dataclass(frozen=True)
+        class Other:
+            pass
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_message(Other, 0xF1, lambda w, m: None, lambda r: Other())
+    finally:
+        unregister_message(_Ping)
+
+
+def test_core_registrations_cannot_be_removed():
+    with pytest.raises(ValueError, match="core"):
+        unregister_message(Vote)
+    assert has_codec_entry(Vote)
+
+
+def test_try_encoded_size(samples):
+    assert try_encoded_size(samples["messages"][0]) is not None
+
+    class Unknown:
+        pass
+
+    assert try_encoded_size(Unknown()) is None

@@ -1,0 +1,111 @@
+"""Length-prefixed framing: round trips, chunking, hostile headers."""
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.wire.framing import (
+    FRAME_HEADER_SIZE,
+    MAX_FRAME_SIZE,
+    FrameDecoder,
+    FrameError,
+    encode_frame,
+    read_frame,
+)
+
+
+def test_encode_frame_layout():
+    frame = encode_frame(b"abc")
+    assert frame == struct.pack(">I", 3) + b"abc"
+    assert FRAME_HEADER_SIZE == 4
+
+
+def test_decoder_round_trips_multiple_frames():
+    payloads = [b"a", b"bb" * 100, b"\x00" * 7]
+    stream = b"".join(encode_frame(p) for p in payloads)
+    decoder = FrameDecoder()
+    assert list(decoder.feed(stream)) == payloads
+    assert decoder.buffered == 0
+
+
+def test_decoder_handles_arbitrary_chunk_boundaries():
+    payloads = [bytes([i]) * (i + 1) for i in range(20)]
+    stream = b"".join(encode_frame(p) for p in payloads)
+    for chunk_size in (1, 2, 3, 5, 7, 64):
+        decoder = FrameDecoder()
+        out = []
+        for start in range(0, len(stream), chunk_size):
+            out.extend(decoder.feed(stream[start:start + chunk_size]))
+        assert out == payloads, f"chunk_size={chunk_size}"
+
+
+def test_partial_frame_stays_buffered():
+    decoder = FrameDecoder()
+    frame = encode_frame(b"hello")
+    assert list(decoder.feed(frame[:-1])) == []
+    assert decoder.buffered == len(frame) - 1
+    assert list(decoder.feed(frame[-1:])) == [b"hello"]
+
+
+def test_zero_length_frame_rejected():
+    with pytest.raises(FrameError, match="zero-length"):
+        list(FrameDecoder().feed(struct.pack(">I", 0)))
+    with pytest.raises(FrameError):
+        encode_frame(b"")
+
+
+def test_oversized_frame_rejected_before_buffering():
+    header = struct.pack(">I", MAX_FRAME_SIZE + 1)
+    with pytest.raises(FrameError, match="exceeds maximum"):
+        list(FrameDecoder().feed(header))
+    with pytest.raises(FrameError):
+        encode_frame(b"x" * (MAX_FRAME_SIZE + 1))
+
+
+def test_garbage_header_rejected():
+    # 0xFFFFFFFF length: far beyond the cap, must fail fast.
+    with pytest.raises(FrameError):
+        list(FrameDecoder().feed(b"\xff\xff\xff\xff"))
+
+
+def _read_all(data: bytes):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        frames = []
+        while True:
+            try:
+                frames.append(await read_frame(reader))
+            except asyncio.IncompleteReadError:
+                return frames
+
+    return asyncio.run(go())
+
+
+def test_read_frame_from_stream():
+    payloads = [b"one", b"two" * 50]
+    assert _read_all(b"".join(encode_frame(p) for p in payloads)) == payloads
+
+
+def test_read_frame_rejects_bad_length():
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(struct.pack(">I", MAX_FRAME_SIZE + 1))
+        reader.feed_eof()
+        await read_frame(reader)
+
+    with pytest.raises(FrameError):
+        asyncio.run(go())
+
+
+def test_read_frame_truncated_mid_payload():
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(encode_frame(b"hello")[:-2])
+        reader.feed_eof()
+        await read_frame(reader)
+
+    with pytest.raises(asyncio.IncompleteReadError):
+        asyncio.run(go())

@@ -1,0 +1,87 @@
+"""Parity between modeled ``wire_size()`` and real codec byte counts.
+
+The simulator bills the modeled estimate; live mode bills the encoded
+bytes.  Cost analyses only transfer between the two modes if the estimates
+track reality, so every message type must stay within the documented
+tolerance: ``max(16 bytes, 10%)`` of the modeled size.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.net.network import Network, _wire_size
+from repro.sim.scheduler import Scheduler
+from repro.wire.codec import (
+    encoded_size,
+    register_message,
+    unregister_message,
+)
+
+
+def _tolerance(modeled: int) -> float:
+    return max(16.0, 0.10 * modeled)
+
+
+def test_encoded_size_tracks_modeled_wire_size(samples):
+    for message in samples["messages"]:
+        wire_size = getattr(message, "wire_size", None)
+        if not callable(wire_size):
+            continue  # client messages carry no modeled estimate
+        modeled = wire_size()
+        actual = encoded_size(message)
+        assert abs(actual - modeled) <= _tolerance(modeled), (
+            f"{type(message).__name__}: modeled {modeled} vs encoded {actual}"
+        )
+
+
+def test_all_core_message_shapes_have_modeled_sizes(samples):
+    # Guard against the parity test silently skipping everything.
+    modeled = [m for m in samples["messages"] if callable(getattr(m, "wire_size", None))]
+    assert len(modeled) >= 15
+
+
+# ----------------------------------------------------------------------
+# Network fallback chain: modeled -> codec-derived -> 64-byte default
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class _Probe:
+    value: int
+
+
+def _enc_probe(w, m):
+    w.i64(m.value)
+
+
+def _dec_probe(r):
+    return _Probe(value=r.i64())
+
+
+def test_network_uses_codec_size_for_registered_extensions():
+    net = Network(Scheduler(seed=1))
+    register_message(_Probe, 0xE0, _enc_probe, _dec_probe)
+    try:
+        probe = _Probe(value=7)
+        assert net._wire_size_of(probe) == encoded_size(probe)
+        assert net.untyped_messages == 0
+        assert _wire_size(probe) == encoded_size(probe)
+    finally:
+        unregister_message(_Probe)
+
+
+def test_network_falls_back_to_default_for_unknown_types():
+    net = Network(Scheduler(seed=1))
+
+    class Opaque:
+        pass
+
+    assert net._wire_size_of(Opaque()) == 64
+    assert net.untyped_messages == 1
+    assert _wire_size(Opaque()) == 64
+
+
+def test_network_prefers_modeled_size(samples):
+    net = Network(Scheduler(seed=1))
+    vote = samples["messages"][2]
+    assert net._wire_size_of(vote) == vote.wire_size()
+    assert net.untyped_messages == 0
