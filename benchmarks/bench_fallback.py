@@ -6,8 +6,6 @@ chains triggering the coin, the elected chain's endorsement, and the
 steady state resuming from it — the series Figure 3 illustrates.
 """
 
-import pytest
-
 from repro.experiments.scenarios import build_cluster, leader_attack_factory
 from repro.types.blocks import FallbackBlock
 

@@ -7,8 +7,6 @@ committed a new block — the paper proves this happens with probability
 DiemBFT control run shows 0 commits under the same adversary.
 """
 
-import pytest
-
 from repro.experiments.scenarios import build_cluster, leader_attack_factory
 from repro.types.blocks import FallbackBlock
 

@@ -6,8 +6,6 @@ claim reproduces as slope ≈ 1 on the synchronous fast path and slope ≈ 2 on
 the asynchronous fallback path.
 """
 
-import pytest
-
 from repro.analysis.complexity import classify_complexity, fit_loglog_slope
 from repro.experiments.scenarios import run_async_attack, run_sync
 

@@ -5,8 +5,6 @@ paper: 6 rounds -> 4 rounds counting proposal+vote per round), fallback
 chain length (3 heights -> 2), and confirms neither costs extra messages.
 """
 
-import pytest
-
 from repro.experiments.scenarios import build_cluster, leader_attack_factory
 
 

@@ -19,9 +19,7 @@ from typing import Optional, Sequence
 from repro.analysis.complexity import classify_complexity, fit_loglog_slope
 from repro.analysis.safety import check_cluster_safety
 from repro.analysis.tables import fmt_cost, render_table
-from repro.core.config import ProtocolConfig
 from repro.experiments.scenarios import (
-    build_cluster,
     leader_attack_factory,
     run_async_attack,
     run_sync,
@@ -205,6 +203,42 @@ def cmd_live(args) -> int:
     return 0 if report.ok else 2
 
 
+def cmd_lint(args) -> int:
+    """Run the protocol-aware static analysis suite over the source tree."""
+    from pathlib import Path
+
+    import repro
+    from repro.lint import (
+        LintError,
+        lint_tree,
+        render_json,
+        render_text,
+        rule_catalogue,
+    )
+    from repro.lint.engine import has_errors
+
+    if args.list_rules:
+        for rule in rule_catalogue():
+            print(f"{rule.id:<20} {rule.description}")
+        return 0
+    src_root = (
+        Path(args.src) if args.src else Path(repro.__file__).resolve().parent.parent
+    )
+    if args.no_tests:
+        tests_root = None
+    elif args.tests:
+        tests_root = Path(args.tests)
+    else:
+        candidate = src_root.parent / "tests"
+        tests_root = candidate if candidate.is_dir() else None
+    try:
+        findings = lint_tree(src_root, tests_root, rule_ids=args.rule or None)
+    except LintError as exc:
+        raise SystemExit(f"repro lint: {exc}")
+    print(render_json(findings) if args.format == "json" else render_text(findings))
+    return 1 if has_errors(findings) else 0
+
+
 def cmd_table1(args) -> int:
     rows = []
     for name in sorted(PROTOCOLS):
@@ -295,6 +329,23 @@ def build_parser() -> argparse.ArgumentParser:
                       help="run DurableReplica (journaled safety state)")
     live.add_argument("--json", action="store_true")
 
+    lint = sub.add_parser(
+        "lint", help="protocol-aware static analysis (see docs/STATIC_ANALYSIS.md)"
+    )
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--rule", action="append", default=[],
+                      metavar="RULE-ID", help="run only these rules (repeatable)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalogue and exit")
+    lint.add_argument("--src", default=None,
+                      help="source root containing the repro package "
+                           "(default: auto-detected)")
+    lint.add_argument("--tests", default=None,
+                      help="tests root scanned for wire round-trip coverage "
+                           "(default: <repo>/tests when present)")
+    lint.add_argument("--no-tests", action="store_true",
+                      help="skip the tests root entirely")
+
     table1 = sub.add_parser("table1", help="reproduce Table 1")
     table1.add_argument("--n", type=int, default=4)
     table1.add_argument("--seed", type=int, default=1)
@@ -317,6 +368,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_run(args)
     if args.command == "live":
         return cmd_live(args)
+    if args.command == "lint":
+        return cmd_lint(args)
     if args.command == "table1":
         return cmd_table1(args)
     if args.command == "scaling":

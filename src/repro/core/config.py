@@ -9,7 +9,7 @@ height, chain-adoption optimization).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 #: External-validity predicate over transactions (validated BFT SMR).

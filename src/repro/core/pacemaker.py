@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.core.validation import verify_parent_cert, verify_timeout_cert
+from repro.crypto.threshold import ThresholdSignatureShare
 from repro.types.certificates import TimeoutCertificate
 from repro.types.messages import PacemakerTCMessage, PacemakerTimeout
 
@@ -34,7 +35,7 @@ class PacemakerEngine:
         self.replica = replica
         self.crypto = replica.crypto
         # Round -> signer -> share.
-        self._timeout_shares: dict[int, dict[int, object]] = {}
+        self._timeout_shares: dict[int, dict[int, ThresholdSignatureShare]] = {}
         self._timeout_sent_rounds: set[int] = set()
         self._tcs: dict[int, TimeoutCertificate] = {}
 

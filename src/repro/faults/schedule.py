@@ -33,7 +33,7 @@ are recorded on ``cluster.fault_log`` for post-run inspection.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, Sequence
 
 from repro.net.conditions import DelayModel
 from repro.net.loss import LossModel, NoLoss, PartitionLoss

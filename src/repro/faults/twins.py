@@ -16,8 +16,6 @@ interleaved on the shared identity.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from repro.core.replica import Replica
 from repro.sim.process import Process
 

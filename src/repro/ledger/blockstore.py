@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Iterator, Optional
 
 from repro.crypto.hashing import Digest
-from repro.types.blocks import AnyBlock, Block, genesis_block
+from repro.types.blocks import AnyBlock, genesis_block
 
 
 class BlockStore:

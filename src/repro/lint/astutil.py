@@ -1,0 +1,143 @@
+"""Small AST helpers shared by the lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute chains; None for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_map(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> imported dotted path, for top-level imports.
+
+    ``import time as t`` maps ``t -> time``; ``from datetime import
+    datetime`` maps ``datetime -> datetime.datetime``.  Only module-level
+    imports are tracked — that is where the banned modules are imported in
+    practice, and function-local import tricks are caught by review.
+    """
+    mapping: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                mapping[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+                if alias.asname:
+                    mapping[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative imports are in-package, never stdlib
+            for alias in node.names:
+                mapping[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return mapping
+
+
+def resolve_call(imports: Dict[str, str], func: ast.AST) -> Optional[str]:
+    """Resolve a call target through the import map.
+
+    ``t.time`` with ``t -> time`` resolves to ``time.time``; a bare name
+    imported via ``from time import perf_counter`` resolves to
+    ``time.perf_counter``.  Unresolvable heads (locals, parameters) return
+    the raw dotted chain so callers can still match explicit suffixes.
+    """
+    chain = dotted_name(func)
+    if chain is None:
+        return None
+    head, _, rest = chain.partition(".")
+    resolved_head = imports.get(head, head)
+    return f"{resolved_head}.{rest}" if rest else resolved_head
+
+
+def iter_comprehension_iters(tree: ast.AST) -> Iterator[Tuple[ast.AST, ast.AST]]:
+    """Yield ``(owner, iterable)`` for for-loops and comprehension clauses."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node, node.iter
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for generator in node.generators:
+                yield node, generator.iter
+
+
+def decorator_names(node: ast.AST) -> List[str]:
+    """Dotted names of a class/function's decorators (call parens stripped)."""
+    names: List[str] = []
+    for decorator in getattr(node, "decorator_list", []):
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = dotted_name(target)
+        if name is not None:
+            names.append(name)
+    return names
+
+
+def dataclass_decorator(node: ast.ClassDef) -> Optional[ast.AST]:
+    """The ``@dataclass`` / ``@dataclasses.dataclass`` decorator, if any."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = dotted_name(target)
+        if name in ("dataclass", "dataclasses.dataclass"):
+            return decorator
+    return None
+
+
+def dataclass_is_frozen(decorator: ast.AST) -> bool:
+    """True when the dataclass decorator passes ``frozen=True``."""
+    if not isinstance(decorator, ast.Call):
+        return False
+    for keyword in decorator.keywords:
+        if keyword.arg == "frozen":
+            return isinstance(keyword.value, ast.Constant) and keyword.value.value is True
+    return False
+
+
+def class_defines_slots(node: ast.ClassDef) -> bool:
+    """True when the class body assigns ``__slots__`` directly."""
+    for statement in node.body:
+        targets: List[ast.AST] = []
+        if isinstance(statement, ast.Assign):
+            targets = list(statement.targets)
+        elif isinstance(statement, ast.AnnAssign):
+            targets = [statement.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    return False
+
+
+def is_set_expression(node: ast.AST) -> bool:
+    """Syntactically set-valued: a set display, set comprehension, or a
+    call to the ``set``/``frozenset`` builtins."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def async_function_names(tree: ast.Module) -> set:
+    """Names of every ``async def`` in the module (functions and methods)."""
+    return {
+        node.name
+        for node in ast.walk(tree)
+        if isinstance(node, ast.AsyncFunctionDef)
+    }
+
+
+def enclosing_async_spans(tree: ast.Module) -> List[Tuple[int, int]]:
+    """(first, last) line spans of every async function body."""
+    spans: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.AsyncFunctionDef):
+            end = getattr(node, "end_lineno", node.lineno)
+            spans.append((node.lineno, end or node.lineno))
+    return spans

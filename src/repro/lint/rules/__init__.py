@@ -1,0 +1,9 @@
+"""First-class rule suite; importing this package registers every rule."""
+
+from repro.lint.rules import (  # noqa: F401  (registration side effects)
+    asyncio_hygiene,
+    determinism,
+    hot_path,
+    safety_state,
+    wire_coverage,
+)

@@ -1,0 +1,80 @@
+"""Safety-state discipline: lock/vote/high-QC state has exactly one owner.
+
+HotStuff-lineage view-change bugs live in the state-update paths: a lock
+regression or an out-of-band ``r_vote`` reset is exactly how two conflicting
+blocks both gather quorums (the paper's Lemma 4/5 territory, and the bug
+class Jolteon/Ditto call out in their safety arguments).  This rule pins
+every assignment to those fields to the modules whose invariants the
+proofs were checked against.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List
+
+from repro.lint.engine import Finding, ParsedModule, Rule, register_rule
+
+#: Safety-critical attribute -> modules allowed to assign it.
+#:
+#: - ``r_vote`` / ``rank_lock`` / ``_fallback_votes`` belong to
+#:   :mod:`repro.core.safety` (the vote/lock state machine); the durable
+#:   journal restore path re-installs them verbatim on recovery.
+#: - ``qc_high`` belongs to :mod:`repro.core.replica` (monotone
+#:   ``max_cert`` update; the fallback adoption path reads it but mutates
+#:   through the replica).
+#: - ``locked_round`` / ``highest_qc`` are the common names for the same
+#:   state in related codebases; reserving them keeps a refactor from
+#:   quietly re-introducing an unguarded variant.
+SAFETY_FIELDS: Dict[str, FrozenSet[str]] = {
+    "r_vote": frozenset({"repro.core.safety", "repro.storage.durable"}),
+    "rank_lock": frozenset({"repro.core.safety", "repro.storage.durable"}),
+    "_fallback_votes": frozenset({"repro.core.safety", "repro.storage.durable"}),
+    "qc_high": frozenset({"repro.core.replica"}),
+    "locked_round": frozenset({"repro.core.safety"}),
+    "highest_qc": frozenset({"repro.core.replica"}),
+}
+
+
+@register_rule
+class SafetyStateRule(Rule):
+    """Safety-critical fields may only be assigned from their owner module."""
+
+    id = "safety-state"
+    description = (
+        "rank_lock/r_vote/qc_high-style fields only assigned inside "
+        "core/safety.py, core/replica.py, or the durable restore path"
+    )
+    rationale = (
+        "Lemma 4/5 safety depends on the lock and vote state moving only "
+        "through the monotone rules in core/safety.py (and qc_high through "
+        "the replica's max_cert update); an assignment anywhere else "
+        "bypasses the proof obligations."
+    )
+
+    def applies_to(self, module: ParsedModule) -> bool:
+        return not module.is_test and module.module.startswith("repro")
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            targets: List[ast.AST] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, ast.AugAssign):
+                targets = [node.target]
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+            for target in targets:
+                if not isinstance(target, ast.Attribute):
+                    continue
+                allowed = SAFETY_FIELDS.get(target.attr)
+                if allowed is None or module.module in allowed:
+                    continue
+                owners = ", ".join(sorted(allowed))
+                yield self.finding(
+                    module,
+                    node,
+                    f"assignment to safety-critical field .{target.attr} "
+                    f"outside its owner module(s) {owners}; route the update "
+                    "through the safety API",
+                )

@@ -74,6 +74,8 @@ class Event:
 class EventQueue:
     """A deterministic priority queue of :class:`Event` objects."""
 
+    __slots__ = ("_heap", "_sequence", "_live")
+
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, Event]] = []
         self._sequence = 0

@@ -32,6 +32,8 @@ MESSAGE_OVERHEAD = 24
 class Message:
     """Marker base class for protocol messages."""
 
+    __slots__ = ()
+
     def wire_size(self) -> int:
         raise NotImplementedError
 

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.analysis.stats import Estimate, mean_ci, proportion_ci
+from repro.analysis.stats import mean_ci, proportion_ci
 
 
 def test_mean_ci_basic():

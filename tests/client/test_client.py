@@ -3,9 +3,7 @@
 import pytest
 
 from repro.analysis.safety import assert_cluster_safety
-from repro.client.client import Client, ClientReply
-from repro.core.config import ProtocolConfig
-from repro.core.replica import Replica
+from repro.client.client import ClientReply
 from repro.experiments.scenarios import leader_attack_factory
 from repro.faults import SilentReplica, byzantine
 from repro.runtime.cluster import ClusterBuilder

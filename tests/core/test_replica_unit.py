@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.config import ProtocolConfig, ProtocolVariant
+from repro.core.config import ProtocolConfig
 from repro.runtime.cluster import ClusterBuilder
 from repro.types.blocks import Block
 from repro.types.certificates import genesis_qc
@@ -14,7 +14,7 @@ from repro.types.messages import (
     Vote,
 )
 
-from tests.core.conftest import build_certified_chain, make_real_qc
+from tests.core.conftest import build_certified_chain
 
 
 @pytest.fixture

@@ -5,8 +5,7 @@ import pytest
 from repro.core.config import ProtocolConfig, ProtocolVariant
 from repro.core.safety import SafetyRules
 from repro.types.blocks import Block, FallbackBlock
-from repro.types.certificates import QC, Rank, genesis_qc
-from repro.ledger.blockstore import BlockStore
+from repro.types.certificates import Rank, genesis_qc
 
 from tests.types.test_certificates import make_qc
 

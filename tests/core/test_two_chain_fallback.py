@@ -8,12 +8,8 @@ f-chains from other replicas."  These tests construct that exact situation
 deterministically and verify that adoption restores liveness.
 """
 
-import pytest
-
 from repro.core.config import ProtocolConfig, ProtocolVariant
 from repro.runtime.cluster import ClusterBuilder
-from repro.types.certificates import FallbackTC
-from repro.types.messages import FallbackTimeout
 
 from tests.core.conftest import build_certified_chain
 

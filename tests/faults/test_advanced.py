@@ -2,7 +2,6 @@
 voting, message flooding)."""
 
 from repro.analysis.safety import assert_cluster_safety
-from repro.core.config import ProtocolConfig
 from repro.experiments.scenarios import leader_attack_factory
 from repro.faults import (
     EquivocatingFallbackProposer,

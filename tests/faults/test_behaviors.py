@@ -1,7 +1,5 @@
 """Unit tests for the Byzantine behaviour library."""
 
-import pytest
-
 from repro.faults import (
     CrashReplica,
     EquivocatingLeader,

@@ -6,8 +6,6 @@ externally valid transactions commit — even when a Byzantine leader tries
 to smuggle invalid payloads in.
 """
 
-import pytest
-
 from repro.analysis.safety import assert_cluster_safety
 from repro.core.config import ProtocolConfig
 from repro.core.replica import Replica

@@ -6,8 +6,6 @@ liveness under asynchrony (Theorem 8), quadratic-but-bounded cost
 (Theorem 6), and the DiemBFT baseline's liveness failure.
 """
 
-import pytest
-
 from repro.analysis.safety import assert_cluster_safety
 from repro.core.config import ProtocolConfig, ProtocolVariant
 from repro.experiments.scenarios import leader_attack_factory
@@ -113,7 +111,7 @@ def test_partial_synchrony_recovers_after_gst():
         after=SynchronousDelay(delta=1.0),
     )
     cluster = ClusterBuilder(n=4, seed=3).with_delay_model(model).build()
-    result = cluster.run(until=400.0)
+    cluster.run(until=400.0)
     post_gst_commits = [
         event for event in cluster.metrics.commits if event.time > 120.0
     ]

@@ -7,22 +7,14 @@ unjustified state change may occur, and a healthy cluster must keep
 committing afterwards.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.analysis.safety import check_cluster_safety
 from repro.crypto.coin import CoinShare
 from repro.crypto.threshold import ThresholdSignature, ThresholdSignatureShare
 from repro.runtime.cluster import ClusterBuilder
-from repro.types.blocks import Block, FallbackBlock, genesis_block
-from repro.types.certificates import (
-    CoinQC,
-    FallbackQC,
-    FallbackTC,
-    QC,
-    TimeoutCertificate,
-    genesis_qc,
-)
+from repro.types.blocks import Block, FallbackBlock
+from repro.types.certificates import CoinQC, FallbackQC, FallbackTC, QC
 from repro.types.messages import (
     BlockRequest,
     BlockResponse,

@@ -6,7 +6,6 @@ safety invariants intact (Theorem 6 + the chain laws of Lemma 2) — and, for
 the fallback variants under eventually-reasonable networks, with progress.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.analysis.safety import check_cluster_safety

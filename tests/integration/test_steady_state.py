@@ -5,12 +5,9 @@ paper's steady-state claims: linear communication, consecutive-round chains,
 no fallbacks under synchrony, and state-machine consistency.
 """
 
-import pytest
-
 from repro.analysis.safety import assert_cluster_safety
 from repro.core.config import ProtocolConfig, ProtocolVariant
 from repro.ledger.ledger import KVStateMachine
-from repro.net.conditions import SynchronousDelay
 from repro.runtime.cluster import ClusterBuilder
 
 
@@ -102,7 +99,6 @@ def test_kv_state_machine_agreement():
     ]
     # Prefix consistency means lagging replicas may have fewer keys, but all
     # replicas at the same height agree exactly.
-    heights = [replica.ledger.height for replica in cluster.honest_replicas()]
     reference = max(
         (replica for replica in cluster.honest_replicas()),
         key=lambda replica: replica.ledger.height,

@@ -2,7 +2,7 @@
 
 from repro.ledger.blockstore import BlockStore
 from repro.types.blocks import Block
-from repro.types.certificates import QC, genesis_qc
+from repro.types.certificates import genesis_qc
 
 from tests.types.test_certificates import make_qc
 

@@ -1,0 +1,20 @@
+"""Helpers for lint-rule tests: in-memory modules and single-rule runs."""
+
+import textwrap
+
+from repro.lint.engine import ParsedModule, lint_modules
+
+
+def mod(source, module, path=None, is_test=False):
+    """Build a ParsedModule from an (indented) source snippet."""
+    return ParsedModule(
+        textwrap.dedent(source),
+        module,
+        path or module.replace(".", "/") + ".py",
+        is_test=is_test,
+    )
+
+
+def run_rule(rule_cls, *modules):
+    """Run one rule over the given modules; return the findings."""
+    return lint_modules(list(modules), [rule_cls()])

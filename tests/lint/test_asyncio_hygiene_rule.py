@@ -1,0 +1,127 @@
+"""Asyncio hygiene: task handles, awaits, blocking sleeps, loop access."""
+
+from repro.lint.rules.asyncio_hygiene import AsyncioHygieneRule
+
+from tests.lint.conftest import mod, run_rule
+
+
+def test_discarded_create_task_is_flagged():
+    module = mod(
+        """
+        import asyncio
+
+        async def serve(handler):
+            asyncio.create_task(handler())
+        """,
+        "repro.net.tcp",
+    )
+    findings = run_rule(AsyncioHygieneRule, module)
+    assert len(findings) == 1
+    assert "create_task" in findings[0].message
+
+
+def test_tracked_create_task_is_allowed():
+    module = mod(
+        """
+        import asyncio
+
+        async def serve(self, handler):
+            self.tasks.append(asyncio.create_task(handler()))
+            task = asyncio.create_task(handler())
+            return task
+        """,
+        "repro.net.tcp",
+    )
+    assert run_rule(AsyncioHygieneRule, module) == []
+
+
+def test_unawaited_local_coroutine_is_flagged():
+    module = mod(
+        """
+        import asyncio
+
+        async def flush(self):
+            pass
+
+        async def close(self):
+            self.flush()
+        """,
+        "repro.runtime.live",
+    )
+    findings = run_rule(AsyncioHygieneRule, module)
+    assert len(findings) == 1
+    assert "without await" in findings[0].message
+
+
+def test_awaited_coroutine_and_foreign_close_are_allowed():
+    module = mod(
+        """
+        import asyncio
+
+        async def flush(self):
+            pass
+
+        async def shutdown(self, writer):
+            await self.flush()
+            writer.close()
+        """,
+        "repro.net.tcp",
+    )
+    assert run_rule(AsyncioHygieneRule, module) == []
+
+
+def test_blocking_sleep_in_async_function_is_flagged():
+    module = mod(
+        """
+        import asyncio
+        import time
+
+        async def backoff():
+            time.sleep(0.1)
+        """,
+        "repro.runtime.live",
+    )
+    findings = run_rule(AsyncioHygieneRule, module)
+    assert len(findings) == 1
+    assert "time.sleep" in findings[0].message
+
+
+def test_blocking_sleep_in_sync_helper_is_allowed():
+    module = mod(
+        """
+        import asyncio
+        import time
+
+        def wait_for_port():
+            time.sleep(0.1)
+        """,
+        "repro.runtime.live",
+    )
+    assert run_rule(AsyncioHygieneRule, module) == []
+
+
+def test_deprecated_get_event_loop_is_flagged():
+    module = mod(
+        """
+        import asyncio
+
+        def loop():
+            return asyncio.get_event_loop()
+        """,
+        "repro.runtime.live",
+    )
+    assert len(run_rule(AsyncioHygieneRule, module)) == 1
+
+
+def test_rule_only_applies_to_asyncio_importing_repro_modules():
+    sim = mod(
+        """
+        def create_task(x):
+            return x
+
+        def run():
+            create_task(1)
+        """,
+        "repro.sim.scheduler",
+    )
+    assert run_rule(AsyncioHygieneRule, sim) == []

@@ -1,0 +1,104 @@
+"""Hot-path discipline: slotted event classes, frozen value objects."""
+
+from repro.lint.rules.hot_path import HotPathRule
+
+from tests.lint.conftest import mod, run_rule
+
+
+def test_unslotted_class_in_events_module_is_flagged():
+    module = mod(
+        """
+        class Timer:
+            def __init__(self):
+                self.deadline = 0.0
+        """,
+        "repro.sim.events",
+    )
+    findings = run_rule(HotPathRule, module)
+    assert len(findings) == 1
+    assert "__slots__" in findings[0].message
+
+
+def test_slotted_class_in_events_module_is_allowed():
+    module = mod(
+        """
+        class Timer:
+            __slots__ = ("deadline",)
+
+            def __init__(self):
+                self.deadline = 0.0
+        """,
+        "repro.sim.events",
+    )
+    assert run_rule(HotPathRule, module) == []
+
+
+def test_mutable_dataclass_in_types_is_flagged():
+    module = mod(
+        """
+        from dataclasses import dataclass
+
+        @dataclass
+        class Vote:
+            round: int
+        """,
+        "repro.types.ballots",
+    )
+    findings = run_rule(HotPathRule, module)
+    assert len(findings) == 1
+    assert "frozen" in findings[0].message
+
+
+def test_frozen_dataclass_in_types_is_allowed():
+    module = mod(
+        """
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Vote:
+            round: int
+        """,
+        "repro.types.ballots",
+    )
+    assert run_rule(HotPathRule, module) == []
+
+
+def test_frozen_false_counts_as_mutable():
+    module = mod(
+        """
+        from dataclasses import dataclass
+
+        @dataclass(frozen=False)
+        class Vote:
+            round: int
+        """,
+        "repro.types.ballots",
+    )
+    assert len(run_rule(HotPathRule, module)) == 1
+
+
+def test_exception_and_protocol_classes_are_exempt():
+    module = mod(
+        """
+        from typing import Protocol
+
+        class CodecError(ValueError):
+            pass
+
+        class Sizeable(Protocol):
+            def wire_size(self) -> int: ...
+        """,
+        "repro.types.errors",
+    )
+    assert run_rule(HotPathRule, module) == []
+
+
+def test_rule_ignores_modules_outside_its_scope():
+    module = mod(
+        """
+        class Anything:
+            pass
+        """,
+        "repro.analysis.tables",
+    )
+    assert run_rule(HotPathRule, module) == []

@@ -1,0 +1,105 @@
+"""Safety-state discipline: lock/vote/high-QC fields have one owner."""
+
+from repro.lint.rules.safety_state import SAFETY_FIELDS, SafetyStateRule
+
+from tests.lint.conftest import mod, run_rule
+
+
+def test_r_vote_write_outside_owner_is_flagged():
+    module = mod(
+        """
+        def hack(replica):
+            replica.safety.r_vote = 0
+        """,
+        "repro.core.fallback",
+    )
+    findings = run_rule(SafetyStateRule, module)
+    assert len(findings) == 1
+    assert ".r_vote" in findings[0].message
+
+
+def test_owner_modules_may_write_their_fields():
+    safety = mod(
+        """
+        class SafetyRules:
+            def record(self, block):
+                self.r_vote = block.round
+                self.rank_lock = block.rank
+        """,
+        "repro.core.safety",
+    )
+    replica = mod(
+        """
+        class Replica:
+            def process(self, cert):
+                self.qc_high = max_cert(self.qc_high, cert)
+        """,
+        "repro.core.replica",
+    )
+    assert run_rule(SafetyStateRule, safety, replica) == []
+
+
+def test_durable_restore_path_is_whitelisted():
+    module = mod(
+        """
+        def restore(safety, record):
+            safety.r_vote = record.r_vote
+            safety.rank_lock = record.rank_lock
+        """,
+        "repro.storage.durable",
+    )
+    assert run_rule(SafetyStateRule, module) == []
+
+
+def test_qc_high_write_outside_replica_is_flagged():
+    module = mod(
+        """
+        def adopt(replica, cert):
+            replica.qc_high = cert
+        """,
+        "repro.core.fallback",
+    )
+    assert len(run_rule(SafetyStateRule, module)) == 1
+
+
+def test_augmented_and_annotated_assignments_are_caught():
+    module = mod(
+        """
+        def bump(safety):
+            safety.r_vote += 1
+
+        def annotate(replica, cert):
+            replica.qc_high: object = cert
+        """,
+        "repro.net.network",
+    )
+    assert len(run_rule(SafetyStateRule, module)) == 2
+
+
+def test_reads_and_local_variables_are_not_flagged():
+    module = mod(
+        """
+        def inspect(safety):
+            r_vote = safety.r_vote
+            return r_vote, safety.rank_lock
+        """,
+        "repro.core.commit",
+    )
+    assert run_rule(SafetyStateRule, module) == []
+
+
+def test_reserved_aliases_are_guarded_everywhere_else():
+    module = mod(
+        """
+        def smuggle(state, qc):
+            state.locked_round = 7
+            state.highest_qc = qc
+        """,
+        "repro.core.pacemaker",
+    )
+    assert len(run_rule(SafetyStateRule, module)) == 2
+
+
+def test_every_safety_field_names_at_least_one_owner():
+    for field, owners in SAFETY_FIELDS.items():
+        assert owners, field

@@ -1,0 +1,112 @@
+"""Wire coverage: message types need codec tags and round-trip tests."""
+
+from repro.lint.rules.wire_coverage import WireCoverageRule
+
+from tests.lint.conftest import mod, run_rule
+
+MESSAGES = """
+    from dataclasses import dataclass
+
+    class Message:
+        __slots__ = ()
+
+    @dataclass(frozen=True)
+    class Ping(Message):
+        nonce: int
+
+    @dataclass(frozen=True)
+    class Pong(Message):
+        nonce: int
+"""
+
+CODEC_BOTH = """
+    _CORE_MESSAGES = (
+        (Ping, 1, encode_ping, decode_ping),
+        (Pong, 2, encode_pong, decode_pong),
+    )
+"""
+
+CODEC_PING_ONLY = """
+    _CORE_MESSAGES = (
+        (Ping, 1, encode_ping, decode_ping),
+    )
+"""
+
+ROUNDTRIP_BOTH = """
+    def test_ping_roundtrip():
+        assert decode(encode(Ping(nonce=1))) == Ping(nonce=1)
+
+    def test_pong_roundtrip():
+        assert decode(encode(Pong(nonce=2))) == Pong(nonce=2)
+"""
+
+
+def _messages():
+    return mod(MESSAGES, "repro.types.messages")
+
+
+def _tests(source=ROUNDTRIP_BOTH):
+    return mod(source, "tests.wire.test_roundtrip", is_test=True)
+
+
+def test_fully_covered_tree_is_clean():
+    findings = run_rule(
+        WireCoverageRule,
+        _messages(),
+        mod(CODEC_BOTH, "repro.wire.codec"),
+        _tests(),
+    )
+    assert findings == []
+
+
+def test_unregistered_message_is_flagged():
+    findings = run_rule(
+        WireCoverageRule,
+        _messages(),
+        mod(CODEC_PING_ONLY, "repro.wire.codec"),
+        _tests(),
+    )
+    assert len(findings) == 1
+    assert "Pong" in findings[0].message
+    assert "codec tag" in findings[0].message
+
+
+def test_untested_message_is_flagged():
+    findings = run_rule(
+        WireCoverageRule,
+        _messages(),
+        mod(CODEC_BOTH, "repro.wire.codec"),
+        _tests("def test_ping_roundtrip():\n    assert Ping\n"),
+    )
+    assert len(findings) == 1
+    assert "Pong" in findings[0].message
+    assert "round-trip" in findings[0].message
+
+
+def test_register_message_extension_calls_count():
+    codec = mod(
+        """
+        _CORE_MESSAGES = (
+            (Ping, 1, encode_ping, decode_ping),
+        )
+        register_message(Pong, 130, encode_pong, decode_pong)
+        """,
+        "repro.wire.codec",
+    )
+    findings = run_rule(WireCoverageRule, _messages(), codec, _tests())
+    assert findings == []
+
+
+def test_partial_tree_without_codec_module_is_silent():
+    assert run_rule(WireCoverageRule, _messages(), _tests()) == []
+
+
+def test_tests_outside_wire_package_do_not_count():
+    findings = run_rule(
+        WireCoverageRule,
+        _messages(),
+        mod(CODEC_BOTH, "repro.wire.codec"),
+        mod(ROUNDTRIP_BOTH, "tests.types.test_messages", is_test=True),
+    )
+    assert len(findings) == 2  # Ping and Pong both lack tests.wire coverage
+    assert all("round-trip" in finding.message for finding in findings)

@@ -3,8 +3,6 @@
 import pytest
 
 from repro.analysis.safety import assert_cluster_safety
-from repro.core.config import ProtocolConfig
-from repro.faults import byzantine
 from repro.runtime.cluster import ClusterBuilder
 from repro.storage import (
     DurableReplica,
@@ -13,7 +11,6 @@ from repro.storage import (
     SafetySnapshot,
 )
 from repro.types.certificates import Rank
-
 
 # ----------------------------------------------------------------------
 # Journal unit tests
@@ -93,7 +90,6 @@ def test_recovered_replica_does_not_double_vote():
     cluster = build(recovering_factory(crash_at=30.0, recover_at=31.0))
     cluster.run(until=200.0)
     replica = cluster.replicas[0]
-    snapshot_r_vote_at_recovery = None
     # The run finished; verify monotone behaviour via the journal.
     final = replica.journal.read()
     assert final.r_vote == replica.safety.r_vote

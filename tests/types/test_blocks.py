@@ -3,7 +3,7 @@
 import pytest
 
 from repro.types.blocks import Block, FallbackBlock, genesis_block, is_fallback
-from repro.types.certificates import QC, Rank, genesis_qc
+from repro.types.certificates import Rank, genesis_qc
 from repro.types.transactions import Batch, make_transaction
 
 from tests.types.test_certificates import make_fqc, make_qc

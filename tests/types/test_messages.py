@@ -5,13 +5,7 @@ import pytest
 from repro.crypto.coin import CoinShare
 from repro.crypto.threshold import ThresholdSignatureShare
 from repro.types.blocks import Block, FallbackBlock, genesis_block
-from repro.types.certificates import (
-    CoinQC,
-    FallbackTC,
-    QC,
-    TimeoutCertificate,
-    genesis_qc,
-)
+from repro.types.certificates import CoinQC, FallbackTC, TimeoutCertificate, genesis_qc
 from repro.types.messages import (
     BlockRequest,
     BlockResponse,
@@ -29,7 +23,6 @@ from repro.types.messages import (
 )
 
 from tests.types.test_certificates import make_fqc, make_qc
-
 
 SHARE = ThresholdSignatureShare(signer=0, epoch=0, tag="t")
 COIN_SHARE = CoinShare(signer=0, view=1, epoch=0, tag="t")

@@ -8,8 +8,6 @@ tolerance: ``max(16 bytes, 10%)`` of the modeled size.
 
 import dataclasses
 
-import pytest
-
 from repro.net.network import Network, _wire_size
 from repro.sim.scheduler import Scheduler
 from repro.wire.codec import (
