@@ -93,6 +93,12 @@ def check_parallel_sweep(processes: int = 2) -> dict:
 def main(argv: Optional[list[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--label", default="", help="entry label (e.g. the change)")
+    parser.add_argument(
+        "--comment",
+        default=None,
+        help="free-form note recorded on the entry (e.g. why a baseline "
+             "was re-recorded)",
+    )
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument(
         "--quick",
@@ -124,6 +130,8 @@ def main(argv: Optional[list[str]] = None) -> int:
             "timestamp": timestamp,
             "results": json.loads(args.import_results.read_text()),
         }
+        if args.comment:
+            entry["comment"] = args.comment
         append_entry(entry)
         print(f"imported {args.import_results} into {RESULTS_PATH}")
         return 0
@@ -155,15 +163,16 @@ def main(argv: Optional[list[str]] = None) -> int:
         sweep = check_parallel_sweep()
         print(f"parallel sweep ok over seeds {sweep['seeds']}")
 
-    append_entry(
-        {
-            "label": args.label or "run",
-            "commit": git_commit(),
-            "timestamp": timestamp,
-            "results": results,
-            "sweep_check": sweep,
-        }
-    )
+    entry = {
+        "label": args.label or "run",
+        "commit": git_commit(),
+        "timestamp": timestamp,
+        "results": results,
+        "sweep_check": sweep,
+    }
+    if args.comment:
+        entry["comment"] = args.comment
+    append_entry(entry)
     print(f"recorded entry in {RESULTS_PATH}")
     return 0
 

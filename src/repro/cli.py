@@ -205,17 +205,20 @@ def cmd_live(args) -> int:
 
 def cmd_lint(args) -> int:
     """Run the protocol-aware static analysis suite over the source tree."""
+    import json as json_module
     from pathlib import Path
 
     import repro
     from repro.lint import (
         LintError,
-        lint_tree,
+        collect_modules,
+        get_rules,
+        lint_modules,
         render_json,
         render_text,
         rule_catalogue,
+        should_fail,
     )
-    from repro.lint.engine import has_errors
 
     if args.list_rules:
         for rule in rule_catalogue():
@@ -232,11 +235,28 @@ def cmd_lint(args) -> int:
         candidate = src_root.parent / "tests"
         tests_root = candidate if candidate.is_dir() else None
     try:
-        findings = lint_tree(src_root, tests_root, rule_ids=args.rule or None)
+        modules = collect_modules(src_root, tests_root)
+        if args.graph is not None:
+            from repro.lint.flow import build_call_graph
+
+            project = [
+                m for m in modules if not m.is_test and m.module.startswith("repro")
+            ]
+            graph = build_call_graph(project)
+            dump = json_module.dumps(
+                graph.to_json(args.graph_prefix), indent=2, sort_keys=True
+            )
+            if args.graph == "-":
+                print(dump)
+            else:
+                Path(args.graph).write_text(dump + "\n", encoding="utf-8")
+                print(f"call graph written to {args.graph}")
+            return 0
+        findings = lint_modules(modules, get_rules(args.rule or None))
     except LintError as exc:
         raise SystemExit(f"repro lint: {exc}")
     print(render_json(findings) if args.format == "json" else render_text(findings))
-    return 1 if has_errors(findings) else 0
+    return 1 if should_fail(findings, args.fail_on) else 0
 
 
 def cmd_table1(args) -> int:
@@ -345,6 +365,16 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default: <repo>/tests when present)")
     lint.add_argument("--no-tests", action="store_true",
                       help="skip the tests root entirely")
+    lint.add_argument("--fail-on", choices=["error", "warning"], default="error",
+                      help="exit non-zero on errors only (default) or on "
+                           "any finding including warnings")
+    lint.add_argument("--graph", nargs="?", const="-", default=None,
+                      metavar="FILE",
+                      help="instead of linting, dump the interprocedural "
+                           "call graph as JSON to FILE (stdout by default)")
+    lint.add_argument("--graph-prefix", default=None, metavar="MODULE",
+                      help="restrict --graph output to modules under this "
+                           "dotted prefix (e.g. repro.core)")
 
     table1 = sub.add_parser("table1", help="reproduce Table 1")
     table1.add_argument("--n", type=int, default=4)

@@ -14,7 +14,7 @@ from typing import Mapping, Optional
 from repro.core.validation import AnyCert, effective_rank
 from repro.ledger.blockstore import BlockStore
 from repro.types.blocks import AnyBlock
-from repro.types.certificates import CoinQC, EndorsedFallbackQC, FallbackQC, QC
+from repro.types.certificates import CoinQC, EndorsedFallbackQC, FallbackQC, QC, Rank
 
 
 def cert_counts_for_commit(cert: AnyCert, coin_qcs: Mapping[int, CoinQC]) -> bool:
@@ -68,7 +68,9 @@ def find_commit_target(
     return chain[-1]
 
 
-def parent_rank_of(block: AnyBlock, coin_qcs: Mapping[int, CoinQC]):
+def parent_rank_of(
+    block: AnyBlock, coin_qcs: Mapping[int, CoinQC]
+) -> Optional[Rank]:
     """Effective rank of the certificate embedded in ``block`` (None for
     genesis).  Used by the 2-chain lock update."""
     if block.qc is None:

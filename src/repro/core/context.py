@@ -10,7 +10,7 @@ verification machinery.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.core.config import ProtocolConfig
 from repro.crypto.certcache import VerifiedCertCache
@@ -97,7 +97,9 @@ class CryptoContext:
     def verify_share(self, share: ThresholdSignatureShare, payload: object) -> bool:
         return self.scheme.verify_share(share, payload)
 
-    def combine(self, shares, payload: object) -> ThresholdSignature:
+    def combine(
+        self, shares: Iterable[ThresholdSignatureShare], payload: object
+    ) -> ThresholdSignature:
         return self.scheme.combine(shares, payload)
 
     def verify_combined(self, signature: ThresholdSignature, payload: object) -> bool:
@@ -112,7 +114,7 @@ class CryptoContext:
     def verify_coin_share(self, share: CoinShare) -> bool:
         return self.coin.verify_share(share)
 
-    def reveal_coin(self, shares, view: int) -> CoinQC:
+    def reveal_coin(self, shares: Iterable[CoinShare], view: int) -> CoinQC:
         leader = self.coin.reveal(shares, view)
         return CoinQC(view=view, leader=leader, proof_tag=self.coin.leader_proof_tag(view))
 

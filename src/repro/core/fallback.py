@@ -30,6 +30,7 @@ from repro.core.validation import (
 )
 from repro.crypto.coin import CoinShare
 from repro.crypto.signatures import SignatureError
+from repro.crypto.threshold import ThresholdSignatureShare
 from repro.types.blocks import FallbackBlock
 from repro.types.certificates import CoinQC, FallbackQC, FallbackTC
 from repro.types.messages import (
@@ -56,7 +57,7 @@ class FallbackEngine:
         self.top_height = self.config.fallback_top_height
 
         # Timeout aggregation: view -> signer -> share.
-        self._timeout_shares: dict[int, dict[int, object]] = {}
+        self._timeout_shares: dict[int, dict[int, ThresholdSignatureShare]] = {}
         self._timeout_sent_views: set[int] = set()
 
         #: Highest view whose fallback this replica has entered (-1 = none).
@@ -72,7 +73,7 @@ class FallbackEngine:
 
         # Own chain construction.
         self._own_blocks: dict[tuple[int, int], FallbackBlock] = {}
-        self._own_vote_shares: dict[str, dict[int, object]] = {}
+        self._own_vote_shares: dict[str, dict[int, ThresholdSignatureShare]] = {}
         self._max_proposed_height: dict[int, int] = {}
 
         # Chain-completion announcements: view -> announcing identities.

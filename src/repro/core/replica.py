@@ -24,7 +24,7 @@ replica logic is byte-for-byte independent of the transport in play.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.core.commit import find_commit_target, parent_rank_of
 from repro.core.config import ProtocolConfig, ProtocolVariant
@@ -38,13 +38,14 @@ from repro.core.validation import (
     verify_parent_cert,
 )
 from repro.ledger.blockstore import BlockStore
-from repro.ledger.ledger import Ledger, NullStateMachine, StateMachine
+from repro.ledger.ledger import CommitRecord, Ledger, NullStateMachine, StateMachine
 from repro.mempool.mempool import Mempool
 from repro.net.network import Network
 from repro.sim.process import Process
 from repro.sim.scheduler import Scheduler
-from repro.types.blocks import Block
+from repro.types.blocks import AnyBlock, Block
 from repro.types.certificates import (
+    CoinQC,
     EndorsedFallbackQC,
     FallbackQC,
     ParentCert,
@@ -52,6 +53,8 @@ from repro.types.certificates import (
     genesis_qc,
     max_cert,
 )
+from repro.types.transactions import Batch
+from repro.crypto.threshold import ThresholdSignatureShare
 from repro.client.client import ClientReply, ClientRequest
 from repro.types.messages import (
     BlockRequest,
@@ -78,7 +81,7 @@ SYNC_TIMER_PREFIX = "sync:"
 class ReplicaObserver:
     """No-op observer; the metrics layer implements these hooks."""
 
-    def on_commit(self, replica: int, record, now: float) -> None:
+    def on_commit(self, replica: int, record: CommitRecord, now: float) -> None:
         pass
 
     def on_round_entered(self, replica: int, round_number: int, now: float) -> None:
@@ -93,7 +96,7 @@ class ReplicaObserver:
     def on_fallback_exited(self, replica: int, view: int, leader: int, now: float) -> None:
         pass
 
-    def on_proposal(self, replica: int, block, now: float) -> None:
+    def on_proposal(self, replica: int, block: Block, now: float) -> None:
         pass
 
 
@@ -131,9 +134,12 @@ class Replica(Process):
         self.fallback_mode = False
         self.fallbacks_entered = 0
 
-        # Vote aggregation (as the next round's leader).
-        self._vote_shares: dict[tuple, dict[int, object]] = {}
-        self._formed_qcs: set[tuple] = set()
+        # Vote aggregation (as the next round's leader), keyed
+        # ("vote", block_id, round, view).
+        self._vote_shares: dict[
+            tuple[str, str, int, int], dict[int, ThresholdSignatureShare]
+        ] = {}
+        self._formed_qcs: set[tuple[str, str, int, int]] = set()
 
         # Proposals made, keyed (view, round): the leader proposes once.
         self._proposed: set[tuple[int, int]] = set()
@@ -167,7 +173,7 @@ class Replica(Process):
         return self.config.quorum_size
 
     @property
-    def coin_qcs(self):
+    def coin_qcs(self) -> dict[int, CoinQC]:
         """View -> CoinQC map (empty for the baseline pacemaker)."""
         if self.fallback is not None:
             return self.fallback.coin_qcs
@@ -393,7 +399,7 @@ class Replica(Process):
         self._tx_origin[transaction.tx_id] = sender
         self.mempool.submit(transaction)
 
-    def _reply_to_clients(self, record) -> None:
+    def _reply_to_clients(self, record: CommitRecord) -> None:
         for transaction in record.block.batch:
             origin = self._tx_origin.pop(transaction.tx_id, None)
             if origin is not None:
@@ -509,7 +515,7 @@ class Replica(Process):
     def handle_chain_response(self, sender: int, message: ChainResponse) -> None:
         self._accept_synced_blocks(message.blocks)
 
-    def _accept_synced_blocks(self, blocks) -> None:
+    def _accept_synced_blocks(self, blocks: Iterable[AnyBlock]) -> None:
         accepted = False
         for block in blocks:
             if isinstance(block, Block):
@@ -548,7 +554,7 @@ class Replica(Process):
             # commit check failed earlier; re-run it from the highest cert.
             self.try_commit(self.qc_high)
 
-    def _deepest_missing_link(self, block) -> Optional[AnyCert]:
+    def _deepest_missing_link(self, block: AnyBlock) -> Optional[AnyCert]:
         """Walk ancestors from ``block``; return the certificate of the
         first missing ancestor, or None if the chain reaches genesis or the
         committed prefix."""
@@ -566,14 +572,14 @@ class Replica(Process):
     # ------------------------------------------------------------------
     # External validity (validated BFT SMR)
     # ------------------------------------------------------------------
-    def batch_valid(self, batch) -> bool:
+    def batch_valid(self, batch: Batch) -> bool:
         """All transactions in the batch satisfy the validity predicate."""
         predicate = self.config.validity_predicate
         if predicate is None:
             return True
         return all(predicate(tx) for tx in batch)
 
-    def next_valid_batch(self):
+    def next_valid_batch(self) -> Batch:
         """Next mempool batch with externally invalid transactions dropped
         (both from the batch and, permanently, from the pool)."""
         predicate = self.config.validity_predicate

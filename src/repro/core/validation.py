@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Union
+from typing import Callable, Mapping, Optional, Union
 
 from repro.core.context import CryptoContext
 from repro.types.certificates import (
@@ -19,8 +19,13 @@ from repro.types.certificates import (
 
 AnyCert = Union[QC, FallbackQC, EndorsedFallbackQC]
 
+#: Everything the verified-certificate cache can key on (has ``.digest``).
+_Digestable = Union[QC, FallbackQC, CoinQC, FallbackTC, TimeoutCertificate]
 
-def _cached(crypto: CryptoContext, cert, verifier) -> bool:
+
+def _cached(
+    crypto: CryptoContext, cert: _Digestable, verifier: Callable[[], bool]
+) -> bool:
     """Run ``verifier`` through the cluster-wide verified-certificate cache.
 
     A verdict is a pure function of the certificate content (``cert.digest``

@@ -29,6 +29,8 @@ from repro.lint.engine import (
     render_json,
     render_text,
     rule_catalogue,
+    should_fail,
+    summarize,
 )
 
 # Importing the rules package registers every first-class rule.
@@ -51,4 +53,6 @@ __all__ = [
     "render_json",
     "render_text",
     "rule_catalogue",
+    "should_fail",
+    "summarize",
 ]

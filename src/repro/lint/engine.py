@@ -304,14 +304,39 @@ def render_text(findings: Sequence[Finding]) -> str:
     return "\n".join(lines)
 
 
-def render_json(findings: Sequence[Finding]) -> str:
-    payload = {
-        "findings": [finding.to_json() for finding in findings],
+def summarize(findings: Sequence[Finding]) -> dict:
+    """Severity and per-rule counts for a finding list."""
+    by_rule: Dict[str, int] = {}
+    for finding in findings:
+        by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+    return {
+        "total": len(findings),
         "errors": sum(1 for f in findings if f.severity == SEVERITY_ERROR),
         "warnings": sum(1 for f in findings if f.severity == SEVERITY_WARNING),
+        "by_rule": dict(sorted(by_rule.items())),
+    }
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    summary = summarize(findings)
+    payload = {
+        "findings": [finding.to_json() for finding in findings],
+        # Top-level errors/warnings predate the summary block; kept for
+        # scripts already parsing them.
+        "errors": summary["errors"],
+        "warnings": summary["warnings"],
+        "summary": summary,
     }
     return json.dumps(payload, indent=2)
 
 
 def has_errors(findings: Iterable[Finding]) -> bool:
     return any(finding.severity == SEVERITY_ERROR for finding in findings)
+
+
+def should_fail(findings: Sequence[Finding], fail_on: str = SEVERITY_ERROR) -> bool:
+    """Exit-code policy: fail on errors, or on any finding at all when
+    ``fail_on`` is ``"warning"``."""
+    if fail_on == SEVERITY_WARNING:
+        return bool(findings)
+    return has_errors(findings)

@@ -1,0 +1,34 @@
+"""Interprocedural analysis layer for `repro lint`.
+
+`callgraph` builds a def/use-resolved project call graph from the parsed
+lint modules; `taint` runs a field-level Byzantine-taint dataflow over
+it.  The flow-based rules in `repro.lint.rules` sit on top of both.
+"""
+
+from repro.lint.flow.callgraph import (
+    CallGraph,
+    ClassNode,
+    FunctionNode,
+    build_call_graph,
+)
+from repro.lint.flow.taint import (
+    GUARD_METHODS,
+    SINK_METHODS,
+    SinkHit,
+    Summary,
+    TaintEngine,
+    is_sanitizer_name,
+)
+
+__all__ = [
+    "CallGraph",
+    "ClassNode",
+    "FunctionNode",
+    "GUARD_METHODS",
+    "SINK_METHODS",
+    "SinkHit",
+    "Summary",
+    "TaintEngine",
+    "build_call_graph",
+    "is_sanitizer_name",
+]

@@ -2,8 +2,12 @@
 
 from repro.lint.rules import (  # noqa: F401  (registration side effects)
     asyncio_hygiene,
+    byzantine_taint,
     determinism,
+    dispatch_exhaustive,
     hot_path,
+    quorum_literal,
     safety_state,
+    swallowed_exception,
     wire_coverage,
 )

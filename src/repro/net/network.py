@@ -193,7 +193,7 @@ class Network:
             return 64  # conservative default for untyped test messages
 
 
-def _codec_size(message: object):
+def _codec_size(message: object) -> Optional[int]:
     """Real encoded size for messages registered with the wire codec.
 
     Imported lazily: the codec pulls in the client message types, whose

@@ -407,7 +407,7 @@ def _read_cert(r: _Reader) -> object:
     raise DecodeError(f"unknown certificate tag {tag}")
 
 
-def _read_cert_of(r: _Reader, *types: type) -> object:
+def _read_cert_of(r: _Reader, *types: type[object]) -> object:
     cert = _read_cert(r)
     if not isinstance(cert, types):
         expected = "/".join(t.__name__ for t in types)
@@ -541,7 +541,7 @@ def _read_block(r: _Reader) -> object:
     return block
 
 
-def _read_block_of(r: _Reader, *types: type) -> object:
+def _read_block_of(r: _Reader, *types: type[object]) -> object:
     block = _read_block(r)
     if not isinstance(block, types):
         expected = "/".join(t.__name__ for t in types)
@@ -754,13 +754,13 @@ def _dec_client_reply(r: _Reader) -> ClientReply:
 # ----------------------------------------------------------------------
 # Type-tag registry
 # ----------------------------------------------------------------------
-_MESSAGE_TAGS: dict[type, int] = {}
-_BODY_ENCODERS: dict[type, Callable[[_Writer, object], None]] = {}
+_MESSAGE_TAGS: dict[type[object], int] = {}
+_BODY_ENCODERS: dict[type[object], Callable[[_Writer, object], None]] = {}
 _BODY_DECODERS: dict[int, Callable[[_Reader], object]] = {}
 
 
 def register_message(
-    message_type: type,
+    message_type: type[object],
     tag: int,
     encode_body: Callable[[_Writer, object], None],
     decode_body: Callable[[_Reader], object],
@@ -789,7 +789,7 @@ def register_message(
     _BODY_DECODERS[tag] = decode_body
 
 
-def unregister_message(message_type: type) -> None:
+def unregister_message(message_type: type[object]) -> None:
     """Remove an extension registration (tests only; core tags are fixed)."""
     tag = _MESSAGE_TAGS.pop(message_type, None)
     if tag is None:
@@ -801,7 +801,7 @@ def unregister_message(message_type: type) -> None:
     _BODY_DECODERS.pop(tag, None)
 
 
-def has_codec_entry(message_type: type) -> bool:
+def has_codec_entry(message_type: type[object]) -> bool:
     """True if the codec can encode/decode this message type."""
     return message_type in _MESSAGE_TAGS
 

@@ -1,0 +1,177 @@
+"""Byzantine-taint dataflow: unverified message data vs safety state."""
+
+from repro.lint.rules.byzantine_taint import ByzantineTaintRule
+
+from tests.lint.conftest import mod, run_rule
+
+
+def test_direct_unverified_write_to_qc_high_is_flagged():
+    module = mod(
+        """
+        class Replica:
+            def handle_timeout(self, message):
+                self.qc_high = message.qc_high
+        """,
+        "repro.core.replica",
+    )
+    findings = run_rule(ByzantineTaintRule, module)
+    assert len(findings) == 1
+    assert "message.qc_high" in findings[0].message
+    assert ".qc_high" in findings[0].message
+
+
+def test_interprocedural_flow_through_helper_is_flagged_at_handler():
+    module = mod(
+        """
+        class Safety:
+            def update_lock(self, qc):
+                pass
+
+        class Replica:
+            def __init__(self):
+                self.safety = Safety()
+
+            def handle_proposal(self, message):
+                self.process_certificate(message.block.qc)
+
+            def process_certificate(self, cert):
+                self.qc_high = cert
+                self.safety.update_lock(cert)
+        """,
+        "repro.core.replica",
+    )
+    findings = run_rule(ByzantineTaintRule, module)
+    assert len(findings) == 2  # the field write and the update_lock call
+    assert all("handle_proposal" in f.message for f in findings)
+    assert any("process_certificate" in f.message for f in findings)
+
+
+def test_verify_gate_sanitizes_the_flow():
+    module = mod(
+        """
+        from repro.core.validation import verify_qc
+
+        class Replica:
+            def handle_vote(self, message):
+                if not verify_qc(message.qc):
+                    return
+                self.process_certificate(message.qc)
+
+            def process_certificate(self, cert):
+                self.qc_high = cert
+        """,
+        "repro.core.replica",
+    )
+    assert run_rule(ByzantineTaintRule, module) == []
+
+
+def test_may_vote_guard_sanitizes_the_vote_path():
+    module = mod(
+        """
+        class Safety:
+            def may_vote_regular(self, block):
+                return True
+
+            def record_regular_vote(self, block):
+                pass
+
+        class Replica:
+            def __init__(self):
+                self.safety = Safety()
+
+            def handle_proposal(self, message):
+                if self.safety.may_vote_regular(message.block):
+                    self.safety.record_regular_vote(message.block)
+        """,
+        "repro.core.replica",
+    )
+    assert run_rule(ByzantineTaintRule, module) == []
+
+
+def test_unguarded_sink_method_call_is_flagged():
+    module = mod(
+        """
+        class Replica:
+            def handle_proposal(self, message):
+                self.safety.record_regular_vote(message.block)
+        """,
+        "repro.core.replica",
+    )
+    findings = run_rule(ByzantineTaintRule, module)
+    assert len(findings) == 1
+    assert "record_regular_vote" in findings[0].message
+
+
+def test_value_assembled_from_verified_fields_is_clean():
+    # The real handle_vote pattern: verify_share vouches for the payload
+    # tuple's fields, and a certificate assembled from them is clean.
+    module = mod(
+        """
+        class Replica:
+            def handle_vote(self, message):
+                payload = (message.block_id, message.round)
+                if not self.crypto.verify_share(message.share, payload):
+                    return
+                qc = QC(message.block_id, message.round)
+                self.process_certificate(qc)
+
+            def process_certificate(self, cert):
+                self.qc_high = cert
+        """,
+        "repro.core.replica",
+    )
+    assert run_rule(ByzantineTaintRule, module) == []
+
+
+def test_sanitizing_a_prefix_covers_nested_fields():
+    module = mod(
+        """
+        class Replica:
+            def handle_proposal(self, message):
+                if not verify_block(message.block):
+                    return
+                self.qc_high = message.block.qc
+        """,
+        "repro.core.replica",
+    )
+    assert run_rule(ByzantineTaintRule, module) == []
+
+
+def test_sanitizing_one_field_does_not_cover_siblings():
+    module = mod(
+        """
+        class Replica:
+            def handle_proposal(self, message):
+                if not verify_qc(message.block.qc):
+                    return
+                self.qc_high = message.tc
+        """,
+        "repro.core.replica",
+    )
+    findings = run_rule(ByzantineTaintRule, module)
+    assert len(findings) == 1
+    assert "message.tc" in findings[0].message
+
+
+def test_handlers_outside_core_are_not_sources():
+    module = mod(
+        """
+        class Codec:
+            def handle_frame(self, message):
+                self.qc_high = message.qc
+        """,
+        "repro.wire.codec",
+    )
+    assert run_rule(ByzantineTaintRule, module) == []
+
+
+def test_pragma_suppresses_the_finding():
+    module = mod(
+        """
+        class Replica:
+            def handle_timeout(self, message):
+                self.qc_high = message.qc_high  # repro-lint: ignore[byzantine-taint]
+        """,
+        "repro.core.replica",
+    )
+    assert run_rule(ByzantineTaintRule, module) == []

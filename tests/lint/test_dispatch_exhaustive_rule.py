@@ -1,0 +1,115 @@
+"""Dispatch-exhaustive rule: every message type matched on the chain."""
+
+from repro.lint.rules.dispatch_exhaustive import DispatchExhaustiveRule
+
+from tests.lint.conftest import mod, run_rule
+
+
+MESSAGES = """
+    class Message:
+        pass
+
+    class Proposal(Message):
+        pass
+
+    class Vote(Message):
+        pass
+
+    class FallbackTimeout(Message):
+        pass
+"""
+
+
+def test_fully_dispatched_tree_is_clean():
+    # Matching happens across the chain: on_message itself plus the
+    # fallback engine it delegates to through a typed attribute.
+    messages = mod(MESSAGES, "repro.types.messages")
+    fallback = mod(
+        """
+        class FallbackEngine:
+            def handle(self, sender, message):
+                if isinstance(message, FallbackTimeout):
+                    return self.handle_timeout(message)
+        """,
+        "repro.core.fallback",
+    )
+    replica = mod(
+        """
+        from repro.core.fallback import FallbackEngine
+
+        class Replica:
+            def __init__(self):
+                self.fallback = FallbackEngine()
+
+            def on_message(self, sender, message):
+                if isinstance(message, Proposal):
+                    return self.handle_proposal(message)
+                if isinstance(message, Vote):
+                    return self.handle_vote(message)
+                self.fallback.handle(sender, message)
+        """,
+        "repro.core.replica",
+    )
+    assert run_rule(DispatchExhaustiveRule, messages, replica, fallback) == []
+
+
+def test_unmatched_message_type_is_flagged():
+    messages = mod(MESSAGES, "repro.types.messages")
+    replica = mod(
+        """
+        class Replica:
+            def on_message(self, sender, message):
+                if isinstance(message, (Proposal, Vote)):
+                    return self.handle(message)
+        """,
+        "repro.core.replica",
+    )
+    findings = run_rule(DispatchExhaustiveRule, messages, replica)
+    assert len(findings) == 1
+    assert "FallbackTimeout" in findings[0].message
+    assert findings[0].path == messages.path
+
+
+def test_tuple_isinstance_counts_as_matched():
+    messages = mod(MESSAGES, "repro.types.messages")
+    replica = mod(
+        """
+        class Replica:
+            def on_message(self, sender, message):
+                if isinstance(message, (Proposal, Vote, FallbackTimeout)):
+                    return self.handle(message)
+        """,
+        "repro.core.replica",
+    )
+    assert run_rule(DispatchExhaustiveRule, messages, replica) == []
+
+
+def test_isinstance_off_the_dispatch_chain_does_not_count():
+    messages = mod(MESSAGES, "repro.types.messages")
+    replica = mod(
+        """
+        class Replica:
+            def on_message(self, sender, message):
+                if isinstance(message, (Proposal, Vote)):
+                    return self.handle(message)
+
+        def unreachable_helper(message):
+            return isinstance(message, FallbackTimeout)
+        """,
+        "repro.core.replica",
+    )
+    findings = run_rule(DispatchExhaustiveRule, messages, replica)
+    assert len(findings) == 1
+    assert "FallbackTimeout" in findings[0].message
+
+
+def test_without_messages_module_the_rule_stays_silent():
+    replica = mod(
+        """
+        class Replica:
+            def on_message(self, sender, message):
+                pass
+        """,
+        "repro.core.replica",
+    )
+    assert run_rule(DispatchExhaustiveRule, replica) == []

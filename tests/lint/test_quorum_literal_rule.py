@@ -1,0 +1,99 @@
+"""Quorum-literal rule: hand-rolled thresholds vs the config arithmetic."""
+
+from repro.lint.rules.quorum_literal import QuorumLiteralRule
+
+from tests.lint.conftest import mod, run_rule
+
+
+def test_integer_literal_threshold_is_flagged():
+    module = mod(
+        """
+        def have_quorum(votes):
+            return len(votes) >= 3
+        """,
+        "repro.core.pacemaker",
+    )
+    findings = run_rule(QuorumLiteralRule, module)
+    assert len(findings) == 1
+    assert "literal 3" in findings[0].message
+
+
+def test_hand_rolled_2f_plus_1_is_flagged():
+    module = mod(
+        """
+        def have_quorum(votes, f):
+            return len(votes) >= 2 * f + 1
+        """,
+        "repro.core.fallback",
+    )
+    findings = run_rule(QuorumLiteralRule, module)
+    assert len(findings) == 1
+    assert "f/n" in findings[0].message
+
+
+def test_reversed_operand_order_is_flagged():
+    module = mod(
+        """
+        def have_quorum(votes):
+            return 3 <= len(votes)
+        """,
+        "repro.core.pacemaker",
+    )
+    assert len(run_rule(QuorumLiteralRule, module)) == 1
+
+
+def test_quorum_size_route_is_allowed():
+    module = mod(
+        """
+        def have_quorum(votes, config):
+            return len(votes) >= config.quorum_size
+        """,
+        "repro.core.pacemaker",
+    )
+    assert run_rule(QuorumLiteralRule, module) == []
+
+
+def test_replica_quorum_and_coin_threshold_are_allowed():
+    module = mod(
+        """
+        def checks(bucket, shares, replica, config):
+            a = len(bucket) >= replica.quorum
+            b = len(shares) >= config.coin_threshold
+            return a and b
+        """,
+        "repro.core.fallback",
+    )
+    assert run_rule(QuorumLiteralRule, module) == []
+
+
+def test_plain_name_comparator_is_allowed():
+    module = mod(
+        """
+        def chunked(blocks, limit):
+            return len(blocks) >= limit
+        """,
+        "repro.core.replica",
+    )
+    assert run_rule(QuorumLiteralRule, module) == []
+
+
+def test_small_structural_constants_are_allowed():
+    module = mod(
+        """
+        def shape_checks(payload, parts):
+            return len(payload) == 0 or len(parts) == 1
+        """,
+        "repro.core.replica",
+    )
+    assert run_rule(QuorumLiteralRule, module) == []
+
+
+def test_outside_core_is_out_of_scope():
+    module = mod(
+        """
+        def header_ok(buffer):
+            return len(buffer) >= 9
+        """,
+        "repro.wire.framing",
+    )
+    assert run_rule(QuorumLiteralRule, module) == []

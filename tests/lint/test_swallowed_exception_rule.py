@@ -1,0 +1,125 @@
+"""Swallowed-exception rule: broad handlers that discard the error."""
+
+from repro.lint.rules.swallowed_exception import SwallowedExceptionRule
+
+from tests.lint.conftest import mod, run_rule
+
+
+def test_bare_except_pass_is_flagged():
+    module = mod(
+        """
+        def decode(data):
+            try:
+                return parse(data)
+            except:
+                pass
+        """,
+        "repro.wire.codec",
+    )
+    findings = run_rule(SwallowedExceptionRule, module)
+    assert len(findings) == 1
+    assert "bare except" in findings[0].message
+    assert findings[0].severity == "warning"
+
+
+def test_broad_except_returning_default_is_flagged():
+    module = mod(
+        """
+        def step(replica):
+            try:
+                replica.tick()
+            except Exception:
+                return None
+        """,
+        "repro.sim.engine",
+    )
+    findings = run_rule(SwallowedExceptionRule, module)
+    assert len(findings) == 1
+    assert "broad except" in findings[0].message
+
+
+def test_broad_type_inside_tuple_is_flagged():
+    module = mod(
+        """
+        def step(replica):
+            try:
+                replica.tick()
+            except (ValueError, Exception):
+                pass
+        """,
+        "repro.core.replica",
+    )
+    assert len(run_rule(SwallowedExceptionRule, module)) == 1
+
+
+def test_specific_exception_as_protocol_outcome_is_allowed():
+    module = mod(
+        """
+        def verify(share):
+            try:
+                check(share)
+            except SignatureError:
+                return False
+            return True
+        """,
+        "repro.core.validation",
+    )
+    assert run_rule(SwallowedExceptionRule, module) == []
+
+
+def test_reraise_is_allowed():
+    module = mod(
+        """
+        def decode(data):
+            try:
+                return parse(data)
+            except Exception:
+                cleanup()
+                raise
+        """,
+        "repro.wire.codec",
+    )
+    assert run_rule(SwallowedExceptionRule, module) == []
+
+
+def test_using_the_bound_error_is_allowed():
+    module = mod(
+        """
+        def decode(data, log):
+            try:
+                return parse(data)
+            except Exception as exc:
+                log.append(exc)
+                return None
+        """,
+        "repro.wire.codec",
+    )
+    assert run_rule(SwallowedExceptionRule, module) == []
+
+
+def test_outside_core_sim_wire_is_out_of_scope():
+    module = mod(
+        """
+        def send(payload):
+            try:
+                push(payload)
+            except Exception:
+                pass
+        """,
+        "repro.runtime.live",
+    )
+    assert run_rule(SwallowedExceptionRule, module) == []
+
+
+def test_pragma_suppresses_the_warning():
+    module = mod(
+        """
+        def step(replica):
+            try:
+                replica.tick()
+            except Exception:  # repro-lint: ignore[swallowed-exception]
+                pass
+        """,
+        "repro.sim.engine",
+    )
+    assert run_rule(SwallowedExceptionRule, module) == []
