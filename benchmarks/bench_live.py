@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Live-cluster chaos benchmark: multi-process, SIGKILL, client swarm.
+
+The acceptance scenario of the multi-process runtime, measured on the
+wall clock:
+
+- n replicas, each its own OS process over real localhost TCP,
+- a :func:`~repro.runtime.supervisor.kill_schedule` that SIGKILLs and
+  restarts replicas while the cluster keeps committing,
+- a closed-loop client swarm confirming commits with f+1 matching replies,
+- the run passes when every replica reaches the commit target with
+  pairwise prefix-consistent ledgers.
+
+Recorded per run: wall-clock throughput, client-observed commit-latency
+percentiles (p50/p95/p99), per-kill restart and catch-up ("recovery")
+times, and the transport's error-containment counters.  Unlike the
+simulator benchmarks these figures are *not* deterministic — they describe
+a real host's scheduling — so ``BENCH_live.json`` tracks a trajectory, not
+fingerprints.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_live.py --json
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --live --label "..."
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_SRC = _REPO_ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.client.swarm import ClientSwarm  # noqa: E402
+from repro.runtime.spec import ClusterSpec  # noqa: E402
+from repro.runtime.supervisor import Supervisor, kill_schedule  # noqa: E402
+
+
+def run_live_chaos(
+    n: int = 4,
+    kills: int = 2,
+    target_commits: int = 20,
+    duration: float = 90.0,
+    swarm_clients: int = 2,
+    swarm_outstanding: int = 4,
+    preload: int = 0,
+    data_dir: Optional[str] = None,
+    seed: int = 0,
+) -> dict:
+    """Run the chaos scenario once; returns the results dict.
+
+    With ``preload=0`` (the default here) all committed transactions come
+    from the swarm, so client-side confirmation latency covers the whole
+    pipeline; benchmarks that only need commit pressure can preload.
+    """
+    owned_dir = None
+    if data_dir is None:
+        owned_dir = tempfile.TemporaryDirectory(prefix="repro-bench-live-")
+        data_dir = owned_dir.name
+    spec = ClusterSpec.create(n, data_dir, seed=seed, preload=preload)
+    schedule = kill_schedule(kills, n) if kills else None
+
+    async def run():
+        supervisor = Supervisor(spec, schedule=schedule)
+        swarm = (
+            ClientSwarm(
+                spec,
+                clients=swarm_clients,
+                mode="closed",
+                outstanding=swarm_outstanding,
+            )
+            if swarm_clients
+            else None
+        )
+        swarm_task = None
+        await supervisor.start()
+        try:
+            if swarm is not None:
+                swarm_task = asyncio.get_running_loop().create_task(
+                    swarm.run(duration=duration), name="bench-swarm"
+                )
+            report = await supervisor.wait(
+                target_commits=target_commits, duration=duration
+            )
+        finally:
+            if swarm_task is not None:
+                swarm_task.cancel()
+                await asyncio.gather(swarm_task, return_exceptions=True)
+            await supervisor.stop()
+        return report, (swarm.report() if swarm is not None else None)
+
+    try:
+        report, swarm_report = asyncio.run(run())
+    finally:
+        if owned_dir is not None:
+            owned_dir.cleanup()
+
+    recoveries = [
+        record.recovery_seconds
+        for record in report.kills
+        if record.recovery_seconds is not None
+    ]
+    results = {
+        "scenario": "chaos-kill9",
+        "n": n,
+        "kills_scheduled": kills,
+        "kills_executed": len(report.kills),
+        "target_commits": target_commits,
+        "commits": report.commits,
+        "max_height": report.max_height,
+        "prefixes_consistent": report.prefixes_consistent,
+        "timed_out": report.timed_out,
+        "ok": report.ok and report.commits >= target_commits,
+        "wall_seconds": report.wall_seconds,
+        "commit_throughput_bps": (
+            report.commits / report.wall_seconds if report.wall_seconds > 0 else 0.0
+        ),
+        "kills": [record.to_json() for record in report.kills],
+        "recovery_seconds_max": max(recoveries, default=None),
+        "unexpected_restarts": report.restarts,
+        "down": report.down,
+        "transport_totals": report.transport_totals,
+    }
+    if swarm_report is not None:
+        results["swarm"] = swarm_report.to_json()
+    return results
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=4)
+    parser.add_argument("--kills", type=int, default=2)
+    parser.add_argument("--commits", type=int, default=20)
+    parser.add_argument("--duration", type=float, default=90.0)
+    parser.add_argument("--swarm", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--data-dir", default=None)
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+
+    results = run_live_chaos(
+        n=args.n,
+        kills=args.kills,
+        target_commits=args.commits,
+        duration=args.duration,
+        swarm_clients=args.swarm,
+        data_dir=args.data_dir,
+        seed=args.seed,
+    )
+    if args.json:
+        print(json.dumps(results, indent=2))
+    else:
+        print(
+            f"chaos-kill9 n={results['n']}: {results['commits']} commits "
+            f"in {results['wall_seconds']:.1f}s "
+            f"({results['commit_throughput_bps']:.2f} blocks/s), "
+            f"{results['kills_executed']} kills, "
+            f"max recovery {results['recovery_seconds_max']}, "
+            f"consistent={results['prefixes_consistent']}"
+        )
+        swarm = results.get("swarm")
+        if swarm:
+            print(
+                f"swarm: {swarm['confirmed']}/{swarm['submitted']} confirmed "
+                f"at {swarm['throughput_tps']:.1f} tx/s, "
+                f"p50={swarm['latency_p50']} p95={swarm['latency_p95']} "
+                f"p99={swarm['latency_p99']}"
+            )
+    return 0 if results["ok"] else 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

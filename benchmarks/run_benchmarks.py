@@ -42,6 +42,7 @@ from bench_simcore import SCENARIOS, check_determinism, run_scenario  # noqa: E4
 from repro.experiments.scenarios import sweep_sync  # noqa: E402
 
 RESULTS_PATH = _REPO_ROOT / "BENCH_simcore.json"
+LIVE_RESULTS_PATH = _REPO_ROOT / "BENCH_live.json"
 
 SWEEP_SEEDS = list(range(1, 9))
 
@@ -60,16 +61,56 @@ def git_commit() -> str:
         return "unknown"
 
 
-def load_history() -> list[dict]:
-    if RESULTS_PATH.exists():
-        return json.loads(RESULTS_PATH.read_text())
+def load_history(path: Path = RESULTS_PATH) -> list[dict]:
+    if path.exists():
+        return json.loads(path.read_text())
     return []
 
 
-def append_entry(entry: dict) -> None:
-    history = load_history()
+def append_entry(entry: dict, path: Path = RESULTS_PATH) -> None:
+    history = load_history(path)
     history.append(entry)
-    RESULTS_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    path.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def run_live(args, timestamp: str) -> int:
+    """Run the multi-process chaos benchmark into ``BENCH_live.json``.
+
+    Wall-clock figures, not fingerprints: the entry records the host's
+    actual throughput/latency/recovery numbers for this commit.
+    """
+    from bench_live import run_live_chaos
+
+    results = run_live_chaos(
+        n=args.live_n,
+        kills=args.live_kills,
+        target_commits=args.live_commits,
+        duration=args.live_duration,
+        seed=args.seed,
+    )
+    swarm = results.get("swarm") or {}
+    print(
+        f"live chaos: {results['commits']} commits in "
+        f"{results['wall_seconds']:.1f}s, {results['kills_executed']} kills, "
+        f"max recovery {results['recovery_seconds_max']}, "
+        f"swarm p50 {swarm.get('latency_p50')}, "
+        f"consistent={results['prefixes_consistent']}"
+    )
+    if not results["ok"]:
+        print("LIVE CHAOS RUN FAILED (inconsistent prefixes, timeout, or "
+              "commit target missed); not recording")
+        return 2
+    entry = {
+        "label": args.label or "live",
+        "commit": git_commit(),
+        "timestamp": timestamp,
+        "results": results,
+    }
+    if args.comment:
+        entry["comment"] = args.comment
+    append_entry(entry, LIVE_RESULTS_PATH)
+    print(f"recorded entry in {LIVE_RESULTS_PATH}")
+    return 0
 
 
 def check_parallel_sweep(processes: int = 2) -> dict:
@@ -106,6 +147,16 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="steady-n4 determinism smoke only; nothing is recorded",
     )
     parser.add_argument(
+        "--live",
+        action="store_true",
+        help="run the multi-process SIGKILL-chaos benchmark into "
+             "BENCH_live.json instead of the simulator scenarios",
+    )
+    parser.add_argument("--live-n", type=int, default=4)
+    parser.add_argument("--live-kills", type=int, default=2)
+    parser.add_argument("--live-commits", type=int, default=20)
+    parser.add_argument("--live-duration", type=float, default=90.0)
+    parser.add_argument(
         "--skip-sweep-check",
         action="store_true",
         help="skip the parallel-vs-serial sweep verification",
@@ -122,6 +173,9 @@ def main(argv: Optional[list[str]] = None) -> int:
     timestamp = datetime.datetime.now(datetime.timezone.utc).isoformat(
         timespec="seconds"
     )
+
+    if args.live:
+        return run_live(args, timestamp)
 
     if args.import_results is not None:
         entry = {

@@ -152,9 +152,24 @@ def cmd_run(args) -> int:
 
 
 def cmd_live(args) -> int:
-    """Run the protocol over real localhost TCP sockets (live mode)."""
+    """Run the protocol over real localhost TCP sockets (live mode).
+
+    Three shapes share this subcommand:
+
+    - default: the whole cluster in one process (threads of one event loop),
+    - ``--replica I --cluster-spec S``: run exactly one replica process
+      (this is what the supervisor spawns),
+    - ``--processes``: spawn one OS process per replica under the
+      supervisor, with optional SIGKILL chaos (``--kills``) and a client
+      swarm (``--swarm``).
+    """
     from repro.analysis.complexity import live_decision_costs
     from repro.runtime.live import LiveCluster
+
+    if args.replica is not None:
+        return _cmd_live_replica(args)
+    if args.write_spec or args.processes:
+        return _cmd_live_processes(args)
 
     config = preset(args.protocol).config(args.n, round_timeout=args.timeout)
     cluster = LiveCluster(
@@ -166,7 +181,7 @@ def cmd_live(args) -> int:
     )
     report = cluster.run(
         target_commits=args.commits,
-        timeout=args.duration,
+        timeout=args.duration if args.duration is not None else 60.0,
         force_fallback=args.force_fallback,
     )
     assert cluster.metrics is not None
@@ -198,6 +213,100 @@ def cmd_live(args) -> int:
               f" ({fmt_cost(costs.bytes_per_decision)}/decision)")
         print(f"transport: {report.transport}")
         print(f"ledgers consistent: {report.ledgers_consistent}")
+        if report.timed_out:
+            print("TIMED OUT before reaching the commit target")
+    return 0 if report.ok else 2
+
+
+def _cmd_live_replica(args) -> int:
+    """Run one replica as this OS process (the supervisor's spawn target)."""
+    from repro.runtime.replica_process import run_replica_process
+    from repro.runtime.spec import ClusterSpec
+
+    if not args.cluster_spec:
+        raise SystemExit("--replica requires --cluster-spec")
+    spec = ClusterSpec.load(args.cluster_spec)
+    return run_replica_process(spec, args.replica, duration=args.duration)
+
+
+def _cmd_live_processes(args) -> int:
+    """Supervised multi-process cluster with optional chaos and swarm."""
+    import asyncio
+    import tempfile
+
+    from repro.client.swarm import ClientSwarm
+    from repro.runtime.spec import ClusterSpec
+    from repro.runtime.supervisor import Supervisor, kill_schedule
+
+    data_dir = args.data_dir or tempfile.mkdtemp(prefix="repro-live-")
+    spec = ClusterSpec.create(
+        args.n,
+        data_dir,
+        seed=args.seed,
+        protocol=args.protocol,
+        round_timeout=args.timeout,
+        preload=args.preload,
+        fsync=args.fsync,
+    )
+    if args.write_spec:
+        path = spec.save(args.write_spec)
+        print(f"cluster spec written to {path}")
+        return 0
+    duration = args.duration if args.duration is not None else 60.0
+    schedule = kill_schedule(args.kills, args.n) if args.kills else None
+
+    async def run():
+        supervisor = Supervisor(spec, schedule=schedule)
+        swarm = (
+            ClientSwarm(spec, clients=args.swarm, mode=args.swarm_mode)
+            if args.swarm
+            else None
+        )
+        swarm_task = None
+        await supervisor.start()
+        try:
+            if swarm is not None:
+                swarm_task = asyncio.get_running_loop().create_task(
+                    swarm.run(duration=duration), name="cli-swarm"
+                )
+            report = await supervisor.wait(
+                target_commits=args.commits, duration=duration
+            )
+        finally:
+            if swarm_task is not None:
+                swarm_task.cancel()
+                await asyncio.gather(swarm_task, return_exceptions=True)
+            await supervisor.stop()
+        return report, (swarm.report() if swarm is not None else None)
+
+    report, swarm_report = asyncio.run(run())
+    payload = {
+        "mode": "live-processes",
+        "protocol": args.protocol,
+        "n": args.n,
+        "seed": args.seed,
+        "data_dir": str(data_dir),
+        **report.to_json(),
+    }
+    if swarm_report is not None:
+        payload["swarm"] = swarm_report.to_json()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"commits (min height): {report.commits} (max {report.max_height})")
+        print(f"prefixes consistent: {report.prefixes_consistent}")
+        print(f"kills: {len(report.kills)}, restarts: {report.restarts}, "
+              f"down: {report.down}")
+        for record in report.kills:
+            recovery = record.recovery_seconds
+            print(f"  replica {record.replica}: killed at {record.killed_at:.2f}s, "
+                  f"recovery "
+                  f"{f'{recovery:.2f}s' if recovery is not None else 'incomplete'}")
+        print(f"wall time: {report.wall_seconds:.2f}s")
+        if swarm_report is not None:
+            print(f"swarm: {swarm_report.confirmed}/{swarm_report.submitted} "
+                  f"confirmed, {swarm_report.throughput_tps:.1f} tx/s, "
+                  f"p50 {swarm_report.latency_p50}")
         if report.timed_out:
             print("TIMED OUT before reaching the commit target")
     return 0 if report.ok else 2
@@ -339,14 +448,33 @@ def build_parser() -> argparse.ArgumentParser:
     live.add_argument("--seed", type=int, default=0)
     live.add_argument("--commits", type=int, default=20,
                       help="stop once every replica committed this many blocks")
-    live.add_argument("--duration", type=float, default=60.0,
-                      help="wall-clock budget in seconds")
+    live.add_argument("--duration", type=float, default=None,
+                      help="wall-clock budget in seconds (default 60; "
+                           "replica processes run until signalled)")
     live.add_argument("--timeout", type=float, default=1.0, help="round timeout (s)")
     live.add_argument("--preload", type=int, default=1000)
     live.add_argument("--force-fallback", action="store_true",
                       help="stall Proposals mid-run to force a real view change")
     live.add_argument("--durable", action="store_true",
                       help="run DurableReplica (journaled safety state)")
+    live.add_argument("--processes", action="store_true",
+                      help="one OS process per replica under the supervisor")
+    live.add_argument("--cluster-spec", default=None, metavar="PATH",
+                      help="cluster spec JSON (with --replica)")
+    live.add_argument("--replica", type=int, default=None, metavar="I",
+                      help="run replica I as this process (supervisor spawn)")
+    live.add_argument("--data-dir", default=None, metavar="DIR",
+                      help="journals/status/logs directory for --processes "
+                           "(default: fresh temp dir)")
+    live.add_argument("--kills", type=int, default=0,
+                      help="SIGKILL/restart chaos pairs for --processes")
+    live.add_argument("--swarm", type=int, default=0, metavar="C",
+                      help="drive C swarm clients at the cluster (--processes)")
+    live.add_argument("--swarm-mode", default="closed", choices=["closed", "open"])
+    live.add_argument("--fsync", action="store_true",
+                      help="fsync the safety journal on every write")
+    live.add_argument("--write-spec", default=None, metavar="PATH",
+                      help="write the generated cluster spec and exit")
     live.add_argument("--json", action="store_true")
 
     lint = sub.add_parser(

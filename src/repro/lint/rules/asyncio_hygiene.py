@@ -1,11 +1,19 @@
-"""Asyncio hygiene for the live runtime (`runtime/live.py`, `net/tcp.py`).
+"""Asyncio hygiene for the live runtime.
 
-The live cluster promises handler atomicity on a single-threaded loop and
-clean shutdown (every task cancelled, every socket closed).  The classic
-ways that promise rots: a fire-and-forget ``create_task`` whose handle is
-dropped (the task can never be awaited, cancelled, or have its exception
-observed), a coroutine called without ``await`` (silently never runs), and
-a blocking ``time.sleep`` that stalls every replica sharing the loop.
+Covers every ``repro`` module that imports asyncio — today that is
+`runtime/live.py`, `net/tcp.py`, the multi-process side
+(`runtime/supervisor.py`, `runtime/replica_process.py`), and the client
+swarm (`client/swarm.py`); new asyncio modules are picked up
+automatically.
+
+The live runtime promises handler atomicity on a single-threaded loop and
+clean shutdown (every task cancelled, every socket closed, every
+subprocess reaped).  The classic ways that promise rots: a fire-and-forget
+``create_task`` whose handle is dropped (the task can never be awaited,
+cancelled, or have its exception observed), a coroutine called without
+``await`` (silently never runs), and a blocking ``time.sleep`` that stalls
+every replica — or the supervisor's whole chaos schedule — sharing the
+loop.
 """
 
 from __future__ import annotations

@@ -3,11 +3,23 @@
 This is the live counterpart of the simulated :class:`~repro.net.network.
 Network` wire: a :class:`TcpTransport` owns one node's listening socket and
 one outbound channel per peer.  Outbound channels dial lazily, reconnect
-with exponential backoff, and buffer sends in a bounded per-peer queue —
-when the queue is full the *newest* message is dropped and counted
+with *jittered* exponential backoff (decorrelating the reconnect storm when
+a killed replica comes back), and buffer sends in a bounded per-peer queue
+— when the queue is full the *newest* message is dropped and counted
 (protocol correctness never depends on delivery: timeouts and the
 certificate-driven catch-up path recover, exactly as they do under the
 simulator's loss models).
+
+Channels are full-duplex: an outbound connection also *reads* frames, so a
+request/reply exchange (a client's ``ClientRequest`` answered with a
+``ClientReply``) rides one connection.  On the accepting side, a handshaked
+connection from a peer with no static channel — a client, whose address the
+replica cannot know in advance — is registered as a *reply channel*:
+``send()`` to that peer id queues frames back over the accepted connection
+(bounded, drop-newest) until the peer disconnects.  Sends to a peer with
+neither a static channel nor a live reply channel are counted (``no_route``)
+and refused instead of raising, so a replica answering a long-gone client
+never poisons its own handler.
 
 Authentication mirrors the simulated network's "the receiver learns the
 true sender" guarantee: every outbound connection opens with a HELLO frame
@@ -20,11 +32,17 @@ Error containment follows the framing contract: a payload that fails
 :func:`~repro.wire.codec.decode_message` poisons only that one message
 (counted, connection kept); a framing violation loses stream sync, so the
 connection is dropped and the dialer's reconnect loop rebuilds it.
+
+Every counter is kept per peer as well as in transport-wide totals;
+:meth:`TcpTransport.per_peer_counters` feeds the
+:meth:`~repro.runtime.metrics.MetricsCollector.transport_counters`
+summaries.
 """
 
 from __future__ import annotations
 
 import asyncio
+import random
 import struct
 from typing import Callable, Optional
 
@@ -35,16 +53,18 @@ from repro.wire.framing import FrameError, encode_frame, read_frame
 _HELLO = struct.Struct(">4sBq")
 _MAGIC = b"RPRO"
 
-#: Reconnect backoff bounds (seconds).
+#: Reconnect backoff bounds (seconds).  The delay for attempt ``k`` is
+#: ``min(initial * 2**k, max) * uniform(0.5, 1.0)`` — exponential with a
+#: cap, jittered so peers dialing one restarted listener spread out.
 _BACKOFF_INITIAL = 0.05
-_BACKOFF_MAX = 1.0
+_BACKOFF_MAX = 2.0
 
 #: Delivery callback: (peer_id, message).
 MessageHandler = Callable[[int, object], None]
 
 
 class _PeerChannel:
-    """Reconnecting outbound channel to one peer with a bounded send queue."""
+    """Reconnecting full-duplex outbound channel to one statically known peer."""
 
     def __init__(
         self, transport: "TcpTransport", peer_id: int, host: str, port: int
@@ -58,6 +78,12 @@ class _PeerChannel:
         )
         self.task: Optional[asyncio.Task] = None
         self._closed = False
+        # Per-peer counters (aggregated by TcpTransport.per_peer_counters).
+        self.frames_sent = 0
+        self.bytes_sent = 0
+        self.reconnects = 0
+        self.dropped_backpressure = 0
+        self.connect_attempts = 0
 
     def start(self) -> None:
         self.task = asyncio.get_running_loop().create_task(
@@ -72,19 +98,30 @@ class _PeerChannel:
             self.queue.put_nowait(payload)
             return True
         except asyncio.QueueFull:
+            self.dropped_backpressure += 1
             self.transport.dropped_backpressure += 1
             return False
 
+    def _backoff_delay(self, attempt: int) -> float:
+        base = min(
+            self.transport.backoff_initial * (2.0**attempt),
+            self.transport.backoff_max,
+        )
+        return base * (0.5 + 0.5 * self.transport.rng.random())
+
     async def _run(self) -> None:
-        backoff = _BACKOFF_INITIAL
+        attempt = 0
+        loop = asyncio.get_running_loop()
         while not self._closed:
             try:
+                self.connect_attempts += 1
                 reader, writer = await asyncio.open_connection(self.host, self.port)
             except OSError:
-                await asyncio.sleep(backoff)
-                backoff = min(backoff * 2, _BACKOFF_MAX)
+                await asyncio.sleep(self._backoff_delay(attempt))
+                attempt += 1
                 continue
-            backoff = _BACKOFF_INITIAL
+            attempt = 0
+            reply_reader: Optional[asyncio.Task] = None
             try:
                 writer.write(
                     encode_frame(
@@ -92,17 +129,31 @@ class _PeerChannel:
                     )
                 )
                 await writer.drain()
+                # Full-duplex: the peer may answer on this same connection
+                # (the reply path clients depend on).  The reader aborts the
+                # connection on EOF/violation, which surfaces here as a
+                # write failure on the next send -> reconnect.
+                reply_reader = loop.create_task(
+                    self.transport._read_stream(reader, writer, self.peer_id),
+                    name=f"tcp-reply:{self.transport.node_id}<-{self.peer_id}",
+                )
                 while True:
                     payload = await self.queue.get()
                     if payload is None:
                         return
                     writer.write(encode_frame(payload))
                     await writer.drain()
+                    self.frames_sent += 1
+                    self.bytes_sent += len(payload)
                     self.transport.frames_sent += 1
                     self.transport.bytes_sent += len(payload)
             except (ConnectionError, OSError):
+                self.reconnects += 1
                 self.transport.reconnects += 1
             finally:
+                if reply_reader is not None:
+                    reply_reader.cancel()
+                    await asyncio.gather(reply_reader, return_exceptions=True)
                 writer.close()
                 try:
                     await writer.wait_closed()
@@ -128,6 +179,73 @@ class _PeerChannel:
                 pass
 
 
+class _ReplyChannel:
+    """Bounded sender over an *accepted* connection (dynamic peers).
+
+    Created when a handshaked inbound connection arrives from a peer the
+    transport has no static channel to — a client.  No reconnect loop: if
+    the connection dies the channel is discarded and the peer re-dials.
+    """
+
+    def __init__(
+        self, transport: "TcpTransport", peer_id: int, writer: asyncio.StreamWriter
+    ) -> None:
+        self.transport = transport
+        self.peer_id = peer_id
+        self.writer = writer
+        self.queue: asyncio.Queue[Optional[bytes]] = asyncio.Queue(
+            maxsize=transport.queue_limit
+        )
+        self.frames_sent = 0
+        self.bytes_sent = 0
+        self.dropped_backpressure = 0
+        self._closed = False
+        self.task = asyncio.get_running_loop().create_task(
+            self._run(), name=f"tcp-reply-send:{transport.node_id}->{peer_id}"
+        )
+
+    def send(self, payload: bytes) -> bool:
+        if self._closed:
+            return False
+        try:
+            self.queue.put_nowait(payload)
+            return True
+        except asyncio.QueueFull:
+            self.dropped_backpressure += 1
+            self.transport.dropped_backpressure += 1
+            return False
+
+    async def _run(self) -> None:
+        try:
+            while True:
+                payload = await self.queue.get()
+                if payload is None:
+                    return
+                self.writer.write(encode_frame(payload))
+                await self.writer.drain()
+                self.frames_sent += 1
+                self.bytes_sent += len(payload)
+                self.transport.frames_sent += 1
+                self.transport.bytes_sent += len(payload)
+        except (ConnectionError, OSError):
+            pass
+
+    async def close(self) -> None:
+        self._closed = True
+        try:
+            self.queue.put_nowait(None)
+        except asyncio.QueueFull:
+            pass
+        try:
+            await asyncio.wait_for(asyncio.shield(self.task), timeout=0.5)
+        except (asyncio.TimeoutError, asyncio.CancelledError):
+            self.task.cancel()
+            try:
+                await self.task
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass
+
+
 class TcpTransport:
     """One node's TCP endpoint: a listener plus per-peer outbound channels.
 
@@ -138,6 +256,9 @@ class TcpTransport:
         transport.add_peer(1, "127.0.0.1", 9001)  # dials lazily
         transport.send(1, payload_bytes)          # queued, framed, shipped
         await transport.close()
+
+    Clients skip :meth:`start` (no listener) and only :meth:`add_peer`;
+    replies arrive over the outbound connections (full-duplex channels).
     """
 
     def __init__(
@@ -147,14 +268,25 @@ class TcpTransport:
         host: str = "127.0.0.1",
         port: int = 0,
         queue_limit: int = 1024,
+        backoff_initial: float = _BACKOFF_INITIAL,
+        backoff_max: float = _BACKOFF_MAX,
+        rng: Optional[random.Random] = None,
     ) -> None:
         self.node_id = node_id
         self.on_message = on_message
         self.host = host
         self.port = port
         self.queue_limit = queue_limit
+        if backoff_initial <= 0 or backoff_max < backoff_initial:
+            raise ValueError("need 0 < backoff_initial <= backoff_max")
+        self.backoff_initial = backoff_initial
+        self.backoff_max = backoff_max
+        #: Jitter source (live-side module: wall-clock nondeterminism is the
+        #: point; inject a seeded Random for reproducible backoff in tests).
+        self.rng = rng if rng is not None else random.Random()
         self._server: Optional[asyncio.base_events.Server] = None
         self._channels: dict[int, _PeerChannel] = {}
+        self._accepted: dict[int, _ReplyChannel] = {}
         self._inbound_tasks: set[asyncio.Task] = set()
         self._closed = False
         # Counters (read by LiveNetwork reports and the transport tests).
@@ -167,6 +299,7 @@ class TcpTransport:
         self.auth_failures = 0
         self.dropped_backpressure = 0
         self.reconnects = 0
+        self.no_route = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -194,6 +327,9 @@ class TcpTransport:
             await self._server.wait_closed()
         for channel in self._channels.values():
             await channel.close()
+        for reply in list(self._accepted.values()):
+            await reply.close()
+        self._accepted.clear()
         for task in list(self._inbound_tasks):
             task.cancel()
         if self._inbound_tasks:
@@ -204,15 +340,57 @@ class TcpTransport:
     # Sending
     # ------------------------------------------------------------------
     def send(self, peer_id: int, payload: bytes) -> bool:
-        """Queue ``payload`` (already codec-encoded) for ``peer_id``."""
+        """Queue ``payload`` (already codec-encoded) for ``peer_id``.
+
+        Routes over the static channel when one exists, else over a live
+        accepted connection from that peer (the client reply path).  With
+        neither, the send is counted (``no_route``) and refused.
+        """
         channel = self._channels.get(peer_id)
-        if channel is None:
-            raise KeyError(f"no channel to peer {peer_id}")
-        return channel.send(payload)
+        if channel is not None:
+            return channel.send(payload)
+        reply = self._accepted.get(peer_id)
+        if reply is not None:
+            return reply.send(payload)
+        self.no_route += 1
+        return False
 
     # ------------------------------------------------------------------
     # Receiving
     # ------------------------------------------------------------------
+    async def _read_stream(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        peer_id: int,
+    ) -> None:
+        """Shared frame pump: decode, authenticate, deliver.
+
+        Runs until EOF or a framing violation; both abort the underlying
+        transport so the owning side (dialer write loop or inbound handler)
+        notices promptly.
+        """
+        try:
+            while True:
+                payload = await read_frame(reader)
+                self.frames_received += 1
+                self.bytes_received += len(payload)
+                try:
+                    sender, message = decode_message(payload)
+                except DecodeError:
+                    # One poisoned message; the stream is still in sync.
+                    self.decode_errors += 1
+                    continue
+                if sender != peer_id:
+                    self.auth_failures += 1
+                    continue
+                self.on_message(peer_id, message)
+        except FrameError:
+            self.frame_errors += 1
+            writer.transport.abort()
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            writer.transport.abort()
+
     async def _handle_inbound(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -220,10 +398,21 @@ class TcpTransport:
         if task is not None:
             self._inbound_tasks.add(task)
             task.add_done_callback(self._inbound_tasks.discard)
+        reply: Optional[_ReplyChannel] = None
+        peer_id: Optional[int] = None
         try:
             peer_id = await self._handshake(reader)
             if peer_id is None:
                 return
+            if peer_id not in self._channels and not self._closed:
+                # Dynamic peer (client): replies flow back over this
+                # connection.  A fresh connection from the same id replaces
+                # the stale channel (the client reconnected).
+                stale = self._accepted.pop(peer_id, None)
+                if stale is not None:
+                    await stale.close()
+                reply = _ReplyChannel(self, peer_id, writer)
+                self._accepted[peer_id] = reply
             while not self._closed:
                 payload = await read_frame(reader)
                 self.frames_received += 1
@@ -251,6 +440,10 @@ class TcpTransport:
             if task is not None:
                 task.uncancel()
         finally:
+            if reply is not None:
+                if self._accepted.get(peer_id) is reply:
+                    del self._accepted[peer_id]
+                await reply.close()
             writer.close()
             try:
                 await writer.wait_closed()
@@ -269,3 +462,51 @@ class TcpTransport:
             self.auth_failures += 1
             return None
         return peer_id
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def per_peer_counters(self) -> dict[int, dict[str, int]]:
+        """Per-peer reconnect/backpressure/volume counters.
+
+        Static channels and live accepted (reply) channels both appear;
+        a peer reachable both ways has its counters merged.
+        """
+        out: dict[int, dict[str, int]] = {}
+        for peer_id, channel in self._channels.items():
+            entry = out.setdefault(peer_id, _zero_peer_counters())
+            entry["frames_sent"] += channel.frames_sent
+            entry["bytes_sent"] += channel.bytes_sent
+            entry["reconnects"] += channel.reconnects
+            entry["dropped_backpressure"] += channel.dropped_backpressure
+            entry["connect_attempts"] += channel.connect_attempts
+        for peer_id, reply in self._accepted.items():
+            entry = out.setdefault(peer_id, _zero_peer_counters())
+            entry["frames_sent"] += reply.frames_sent
+            entry["bytes_sent"] += reply.bytes_sent
+            entry["dropped_backpressure"] += reply.dropped_backpressure
+        return out
+
+    def counters(self) -> dict[str, int]:
+        """Transport-wide totals (the error-containment story in numbers)."""
+        return {
+            "frames_sent": self.frames_sent,
+            "bytes_sent": self.bytes_sent,
+            "frames_received": self.frames_received,
+            "decode_errors": self.decode_errors,
+            "frame_errors": self.frame_errors,
+            "auth_failures": self.auth_failures,
+            "dropped_backpressure": self.dropped_backpressure,
+            "reconnects": self.reconnects,
+            "no_route": self.no_route,
+        }
+
+
+def _zero_peer_counters() -> dict[str, int]:
+    return {
+        "frames_sent": 0,
+        "bytes_sent": 0,
+        "reconnects": 0,
+        "dropped_backpressure": 0,
+        "connect_attempts": 0,
+    }

@@ -204,19 +204,10 @@ class LiveNetwork:
 
     # -- reporting -----------------------------------------------------
     def transport_counters(self) -> dict[str, int]:
-        totals = {
-            "frames_sent": 0,
-            "bytes_sent": 0,
-            "frames_received": 0,
-            "decode_errors": 0,
-            "frame_errors": 0,
-            "auth_failures": 0,
-            "dropped_backpressure": 0,
-            "reconnects": 0,
-        }
+        totals: dict[str, int] = {}
         for transport in self._transports.values():
-            for key in totals:
-                totals[key] += getattr(transport, key)
+            for key, value in transport.counters().items():
+                totals[key] = totals.get(key, 0) + value
         return totals
 
 
@@ -380,6 +371,7 @@ class LiveCluster:
             )
             addresses.append(await transport.start())
             self.transports.append(transport)
+            self.metrics.attach_transport(transport)
         for replica_id, transport in enumerate(self.transports):
             for peer_id, (host, port) in enumerate(addresses):
                 if peer_id != replica_id:

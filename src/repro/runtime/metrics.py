@@ -91,11 +91,18 @@ class MetricsCollector(ReplicaObserver):
         self._notified_txs: set[str] = set()
         #: Cluster-wide verified-certificate cache, if one is in play.
         self._cert_cache = None
+        #: Live-mode TCP transports whose counters this collector surfaces.
+        self._transports: list = []
 
     def attach_cert_cache(self, cache) -> None:
         """Surface a :class:`~repro.crypto.certcache.VerifiedCertCache`'s
         hit/miss counters through this collector."""
         self._cert_cache = cache
+
+    def attach_transport(self, transport) -> None:
+        """Surface a :class:`~repro.net.tcp.TcpTransport`'s error-containment
+        and per-peer reconnect/drop counters through this collector."""
+        self._transports.append(transport)
 
     # ------------------------------------------------------------------
     # Network hooks
@@ -265,6 +272,33 @@ class MetricsCollector(ReplicaObserver):
             return {"hits": 0, "misses": 0, "entries": 0, "invalidations": 0}
         return self._cert_cache.counters()
 
+    def transport_counters(self) -> dict:
+        """Live transport summary: cluster totals plus per-peer breakdowns.
+
+        ``totals`` sums the error-containment counters across every attached
+        transport; ``per_peer`` maps each transport's node id to its
+        per-peer reconnect/backpressure/volume counters (see
+        :meth:`~repro.net.tcp.TcpTransport.per_peer_counters`).  Empty
+        totals (all zero) under the simulator, where no transport exists.
+        """
+        totals = {
+            "frames_sent": 0,
+            "bytes_sent": 0,
+            "frames_received": 0,
+            "decode_errors": 0,
+            "frame_errors": 0,
+            "auth_failures": 0,
+            "dropped_backpressure": 0,
+            "reconnects": 0,
+            "no_route": 0,
+        }
+        per_peer: dict[int, dict[int, dict[str, int]]] = {}
+        for transport in self._transports:
+            for key, value in transport.counters().items():
+                totals[key] = totals.get(key, 0) + value
+            per_peer[transport.node_id] = transport.per_peer_counters()
+        return {"totals": totals, "per_peer": per_peer}
+
     def summary(self) -> str:
         lines = [
             f"decisions: {self.decisions()}",
@@ -281,6 +315,13 @@ class MetricsCollector(ReplicaObserver):
             f"cert cache: {cache['hits']} hits, {cache['misses']} misses, "
             f"{cache['invalidations']} invalidations"
         )
+        if self._transports:
+            totals = self.transport_counters()["totals"]
+            lines.append(
+                f"transport: {totals['reconnects']} reconnects, "
+                f"{totals['dropped_backpressure']} backpressure drops, "
+                f"{totals['no_route']} unroutable sends"
+            )
         phases = self.phase_messages()
         lines.append(
             "phases: "

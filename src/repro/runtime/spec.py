@@ -1,0 +1,164 @@
+"""Cluster specification for the multi-process live runtime.
+
+A :class:`ClusterSpec` is the single source of truth shared by the
+supervisor, every replica process, and the client swarm: cluster size,
+protocol preset, timing, the TCP address of each replica, and the data
+directory holding journals, status files, and process logs.  It serializes
+to JSON so ``python -m repro live --replica i --cluster-spec spec.json``
+can reconstruct the exact same cluster from any process.
+
+Determinism note: the shared cryptographic setup
+(:meth:`~repro.core.context.SharedSetup.deal`) is a pure function of
+``(n, protocol, seed)``, so every process deals it independently and all
+signatures, threshold shares, and coin elections line up — no key
+distribution step is needed for the simulated crypto.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.config import ProtocolConfig
+
+#: Spec format version (bump on incompatible changes).
+SPEC_VERSION = 1
+
+
+@dataclass
+class ClusterSpec:
+    """Everything a replica process needs to join the cluster."""
+
+    n: int
+    seed: int = 0
+    protocol: str = "fallback-3chain"
+    round_timeout: float = 1.0
+    batch_size: int = 10
+    preload: int = 1000
+    host: str = "127.0.0.1"
+    ports: list[int] = field(default_factory=list)
+    data_dir: str = "."
+    #: fsync the safety journal on every write (survives machine crash, not
+    #: just process death; much slower — kill -9 chaos only needs flush).
+    fsync: bool = False
+    version: int = SPEC_VERSION
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("cluster spec needs n >= 1")
+        if self.ports and len(self.ports) != self.n:
+            raise ValueError(
+                f"spec has {len(self.ports)} ports for n={self.n} replicas"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def config(self) -> ProtocolConfig:
+        """The :class:`ProtocolConfig` every process derives from the spec."""
+        from repro.protocols import preset
+
+        return preset(self.protocol).config(
+            self.n, round_timeout=self.round_timeout, batch_size=self.batch_size
+        )
+
+    def address(self, replica_id: int) -> tuple[str, int]:
+        return self.host, self.ports[replica_id]
+
+    def addresses(self) -> list[tuple[str, int]]:
+        return [(self.host, port) for port in self.ports]
+
+    def journal_path(self, replica_id: int) -> Path:
+        return Path(self.data_dir) / f"journal-{replica_id}.log"
+
+    def status_path(self, replica_id: int) -> Path:
+        return Path(self.data_dir) / f"status-{replica_id}.json"
+
+    def log_path(self, replica_id: int) -> Path:
+        return Path(self.data_dir) / f"replica-{replica_id}.log"
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ClusterSpec":
+        data = json.loads(text)
+        version = data.get("version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise ValueError(f"unsupported cluster-spec version {version}")
+        known = {name for name in cls.__dataclass_fields__}
+        return cls(**{key: value for key, value in data.items() if key in known})
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json(), encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ClusterSpec":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        n: int,
+        data_dir: Union[str, Path],
+        seed: int = 0,
+        protocol: str = "fallback-3chain",
+        round_timeout: float = 1.0,
+        batch_size: int = 10,
+        preload: int = 1000,
+        host: str = "127.0.0.1",
+        base_port: Optional[int] = None,
+        fsync: bool = False,
+    ) -> "ClusterSpec":
+        """Build a spec with concrete ports and an existing data directory.
+
+        With ``base_port`` the replicas get consecutive fixed ports;
+        otherwise each port is picked by briefly binding an ephemeral
+        socket (released immediately — a small race the listener's
+        ``SO_REUSEADDR`` absorbs in practice on localhost).
+        """
+        data_dir = Path(data_dir)
+        data_dir.mkdir(parents=True, exist_ok=True)
+        if base_port is not None:
+            ports = [base_port + i for i in range(n)]
+        else:
+            ports = _free_ports(n, host)
+        return cls(
+            n=n,
+            seed=seed,
+            protocol=protocol,
+            round_timeout=round_timeout,
+            batch_size=batch_size,
+            preload=preload,
+            host=host,
+            ports=ports,
+            data_dir=str(data_dir),
+            fsync=fsync,
+        )
+
+
+def _free_ports(count: int, host: str) -> list[int]:
+    """Reserve ``count`` distinct ephemeral ports by binding then releasing."""
+    sockets = []
+    try:
+        for _ in range(count):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((host, 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()

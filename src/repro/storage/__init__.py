@@ -7,17 +7,21 @@ ledger, vote accumulators — is volatile and rebuilt from peers after a
 restart.  This package provides the simulated equivalent:
 
 - :class:`SafetyJournal` — write-ahead storage that survives a crash,
+- :class:`FileSafetyJournal` — the same contract on real files (CRC-framed
+  records, atomic compaction, corrupt-tail fallback) for the multi-process
+  live runtime's ``kill -9`` recovery,
 - :class:`DurableReplica` — an honest replica that journals its safety
   state after every handled event,
 - :class:`RecoveringReplica` — crashes at a configured time, loses all
   volatile state, restores the journal, and rejoins via block sync.
 """
 
-from repro.storage.journal import SafetySnapshot, SafetyJournal
+from repro.storage.journal import FileSafetyJournal, SafetySnapshot, SafetyJournal
 from repro.storage.durable import DurableReplica, RecoveringReplica
 
 __all__ = [
     "DurableReplica",
+    "FileSafetyJournal",
     "RecoveringReplica",
     "SafetyJournal",
     "SafetySnapshot",

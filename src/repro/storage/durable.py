@@ -30,6 +30,15 @@ class DurableReplica(Replica):
     def __init__(self, *args, journal: Optional[SafetyJournal] = None, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.journal = journal if journal is not None else SafetyJournal()
+        # A pre-populated journal means this is a process restart (the live
+        # runtime hands every incarnation the same on-disk journal): restore
+        # the persisted safety state *before* the first write so the new
+        # process can never contradict votes its predecessor already sent.
+        # Volatile state (ledger, block store, mempool) starts empty and is
+        # rebuilt through the BlockRequest/ChainRequest catch-up path.
+        snapshot = self.journal.read()
+        if snapshot is not None:
+            self._restore(snapshot)
         self._persist()
 
     # Journal after every externally visible step.

@@ -1,4 +1,4 @@
-"""The safety journal: simulated durable storage for one replica.
+"""The safety journal: durable storage for one replica.
 
 The journal holds the minimal state a replica must never forget, even
 across a crash, to remain *safe* (liveness state is rebuilt from peers):
@@ -10,16 +10,29 @@ across a crash, to remain *safe* (liveness state is rebuilt from peers):
 - proposed (view, round) pairs and fallback proposal heights — never
   equivocate after restart.
 
-In the simulation a "write" is a deep snapshot kept in memory; the object
-survives the crash (it models the disk), while the replica's other state is
-wiped on recovery.
+Two implementations share one interface (``write`` / ``read`` / ``empty``):
+
+- :class:`SafetyJournal` — the simulator's in-memory stand-in.  A "write"
+  is a deep snapshot kept in memory; the object survives the crash (it
+  models the disk) while the replica's other state is wiped on recovery.
+- :class:`FileSafetyJournal` — real files for the multi-process live
+  runtime, built to survive ``kill -9`` *during a write*.  Snapshots are
+  appended as CRC-framed records; a truncated or corrupted tail record
+  (the signature of a crash mid-append) is detected at load time and
+  recovery falls back to the last intact record instead of raising.
+  Periodic compaction rewrites the file atomically (tmp + ``os.replace``)
+  so the journal never grows without bound.
 """
 
 from __future__ import annotations
 
 import copy
+import json
+import os
+import zlib
 from dataclasses import dataclass, field
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Union
 
 from repro.types.certificates import Rank
 
@@ -68,3 +81,178 @@ class SafetyJournal:
     @property
     def empty(self) -> bool:
         return self._latest is None
+
+
+# ----------------------------------------------------------------------
+# Snapshot <-> JSON (the FileSafetyJournal record body)
+# ----------------------------------------------------------------------
+def snapshot_to_dict(snapshot: SafetySnapshot) -> dict:
+    """A JSON-safe dict carrying every :class:`SafetySnapshot` field."""
+    return {
+        "r_vote": snapshot.r_vote,
+        "rank_lock": [
+            snapshot.rank_lock.view,
+            snapshot.rank_lock.endorsed,
+            snapshot.rank_lock.round,
+        ],
+        "v_cur": snapshot.v_cur,
+        "fallback_mode": snapshot.fallback_mode,
+        "entered_view": snapshot.entered_view,
+        "fallbacks_entered": snapshot.fallbacks_entered,
+        "fallback_view": snapshot.fallback_view,
+        "fallback_r_vote": {str(k): v for k, v in snapshot.fallback_r_vote.items()},
+        "fallback_h_vote": {str(k): v for k, v in snapshot.fallback_h_vote.items()},
+        "proposed": sorted([list(pair) for pair in snapshot.proposed]),
+        "fallback_proposed": {
+            str(k): v for k, v in snapshot.fallback_proposed.items()
+        },
+    }
+
+
+def snapshot_from_dict(data: dict) -> SafetySnapshot:
+    """Rebuild a :class:`SafetySnapshot` from :func:`snapshot_to_dict` output.
+
+    Raises ``KeyError`` / ``TypeError`` / ``ValueError`` on malformed input;
+    the journal reader treats any of those as a corrupt record.
+    """
+    view, endorsed, round_number = data["rank_lock"]
+    return SafetySnapshot(
+        r_vote=int(data["r_vote"]),
+        rank_lock=Rank(view=int(view), endorsed=bool(endorsed), round=int(round_number)),
+        v_cur=int(data["v_cur"]),
+        fallback_mode=bool(data["fallback_mode"]),
+        entered_view=int(data["entered_view"]),
+        fallbacks_entered=int(data["fallbacks_entered"]),
+        fallback_view=(
+            None if data["fallback_view"] is None else int(data["fallback_view"])
+        ),
+        fallback_r_vote={int(k): int(v) for k, v in data["fallback_r_vote"].items()},
+        fallback_h_vote={int(k): int(v) for k, v in data["fallback_h_vote"].items()},
+        proposed={(int(v), int(r)) for v, r in data["proposed"]},
+        fallback_proposed={
+            int(k): int(v) for k, v in data["fallback_proposed"].items()
+        },
+    )
+
+
+class FileSafetyJournal:
+    """Crash-safe file-backed safety journal (``SafetyJournal`` interface).
+
+    Record format: one ``<crc32-hex8> <compact-json>\\n`` line per write.
+    The CRC covers the JSON text, so a record interrupted by ``kill -9``
+    (short line, garbled bytes, missing newline) fails validation and the
+    loader falls back to the most recent *intact* record — the replica
+    restarts from the last fully persisted safety state, which is exactly
+    write-ahead semantics: a vote whose journal record never completed was
+    never sent.
+
+    Every ``compact_every`` writes the file is rewritten to a single record
+    via tmp + ``os.replace`` (atomic on POSIX), bounding file size without
+    ever exposing a half-written journal.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        fsync: bool = False,
+        compact_every: int = 512,
+    ) -> None:
+        if compact_every < 1:
+            raise ValueError("compact_every must be >= 1")
+        self.path = Path(path)
+        self.fsync = fsync
+        self.compact_every = compact_every
+        self.writes = 0
+        #: Records discarded at load because they failed CRC/JSON checks.
+        self.corrupt_records_dropped = 0
+        #: True when the load had to skip a bad tail to find good state.
+        self.recovered_from_corruption = False
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._latest: Optional[SafetySnapshot] = None
+        self._records_in_file = 0
+        self._load()
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # Load / recovery
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
+            return
+        for line in raw.split(b"\n"):
+            if not line:
+                continue
+            self._records_in_file += 1
+            snapshot = self._parse_record(line)
+            if snapshot is None:
+                self.corrupt_records_dropped += 1
+            else:
+                self._latest = snapshot
+        if self.corrupt_records_dropped and self._latest is not None:
+            self.recovered_from_corruption = True
+
+    @staticmethod
+    def _parse_record(line: bytes) -> Optional[SafetySnapshot]:
+        try:
+            crc_text, body = line.split(b" ", 1)
+            if int(crc_text, 16) != zlib.crc32(body):
+                return None
+            return snapshot_from_dict(json.loads(body.decode("utf-8")))
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+            return None
+
+    # ------------------------------------------------------------------
+    # SafetyJournal interface
+    # ------------------------------------------------------------------
+    def write(self, snapshot: SafetySnapshot) -> None:
+        body = json.dumps(
+            snapshot_to_dict(snapshot), separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+        line = f"{zlib.crc32(body):08x} ".encode("ascii") + body + b"\n"
+        self._file.write(line.decode("utf-8"))
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+        self._latest = snapshot.clone()
+        self.writes += 1
+        self._records_in_file += 1
+        if self._records_in_file >= self.compact_every:
+            self.checkpoint()
+
+    def read(self) -> Optional[SafetySnapshot]:
+        if self._latest is None:
+            return None
+        return self._latest.clone()
+
+    @property
+    def empty(self) -> bool:
+        return self._latest is None
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Atomically rewrite the journal down to the latest record."""
+        if self._latest is None:
+            return
+        body = json.dumps(
+            snapshot_to_dict(self._latest), separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+        line = f"{zlib.crc32(body):08x} ".encode("ascii") + body + b"\n"
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._file.close()
+        os.replace(tmp, self.path)
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._records_in_file = 1
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()

@@ -125,3 +125,117 @@ def test_rule_only_applies_to_asyncio_importing_repro_modules():
         "repro.sim.scheduler",
     )
     assert run_rule(AsyncioHygieneRule, sim) == []
+
+
+# ----------------------------------------------------------------------
+# Scope: the multi-process runtime and the client swarm are covered too
+# ----------------------------------------------------------------------
+def test_supervisor_module_discarded_task_is_flagged():
+    """True positive in repro.runtime.supervisor: a dropped monitor-task
+    handle could never be cancelled at shutdown."""
+    module = mod(
+        """
+        import asyncio
+
+        async def spawn_monitor(handle):
+            asyncio.create_task(monitor(handle))
+
+        async def monitor(handle):
+            await handle.process.wait()
+        """,
+        "repro.runtime.supervisor",
+    )
+    findings = run_rule(AsyncioHygieneRule, module)
+    assert len(findings) == 1
+    assert "create_task" in findings[0].message
+
+
+def test_supervisor_module_blocking_restart_backoff_is_flagged():
+    """True positive: a blocking backoff sleep would stall the whole chaos
+    schedule and every other monitor sharing the loop."""
+    module = mod(
+        """
+        import asyncio
+        import time
+
+        async def delayed_restart(handle, delay):
+            time.sleep(delay)
+            await spawn(handle)
+
+        async def spawn(handle):
+            pass
+        """,
+        "repro.runtime.supervisor",
+    )
+    findings = run_rule(AsyncioHygieneRule, module)
+    assert len(findings) == 1
+    assert "time.sleep" in findings[0].message
+
+
+def test_supervisor_module_tracked_tasks_and_async_sleep_are_clean():
+    """False-positive guard: the supervisor's real idioms — stored task
+    handles, done-callbacks for self-cleanup, awaited asyncio.sleep — must
+    not be flagged."""
+    module = mod(
+        """
+        import asyncio
+
+        async def spawn(self, handle):
+            handle.monitor = asyncio.get_running_loop().create_task(
+                self.monitor(handle)
+            )
+            task = asyncio.create_task(self.restart_later(handle, 0.5))
+            self.restart_tasks.add(task)
+            task.add_done_callback(self.restart_tasks.discard)
+
+        async def monitor(self, handle):
+            await handle.process.wait()
+
+        async def restart_later(self, handle, delay):
+            await asyncio.sleep(delay)
+        """,
+        "repro.runtime.supervisor",
+    )
+    assert run_rule(AsyncioHygieneRule, module) == []
+
+
+def test_swarm_module_unawaited_close_is_flagged():
+    """True positive in repro.client.swarm: forgetting to await close()
+    silently leaks every client connection."""
+    module = mod(
+        """
+        import asyncio
+
+        async def close(self):
+            pass
+
+        async def run(self):
+            self.close()
+        """,
+        "repro.client.swarm",
+    )
+    findings = run_rule(AsyncioHygieneRule, module)
+    assert len(findings) == 1
+    assert "without await" in findings[0].message
+
+
+def test_swarm_module_wall_clock_reads_are_clean():
+    """False-positive guard: the swarm's wall-clock timestamping uses
+    time.monotonic() (non-blocking) inside async code — only time.sleep
+    is the hazard."""
+    module = mod(
+        """
+        import asyncio
+        import time
+
+        async def drive(self, deadline):
+            while time.monotonic() < deadline:
+                self.submit()
+                await asyncio.sleep(0.01)
+
+        def submit(self):
+            return time.monotonic()
+        """,
+        "repro.client.swarm",
+    )
+    assert run_rule(AsyncioHygieneRule, module) == []

@@ -154,15 +154,135 @@ def test_backpressure_drops_newest():
     asyncio.run(go())
 
 
-def test_unknown_peer_raises():
+def test_unknown_peer_counted_not_raised():
+    """Sending to a peer with no channel is refused and counted, never an
+    exception: a replica answering a long-gone client must not have its
+    handler poisoned by a KeyError."""
+
     async def go():
         t = TcpTransport(0, lambda p, m: None)
         await t.start()
         try:
-            with pytest.raises(KeyError):
-                t.send(42, b"payload")
+            assert t.send(42, b"payload") is False
+            assert t.send(42, b"payload") is False
+            assert t.no_route == 2
+            assert t.counters()["no_route"] == 2
         finally:
             await t.close()
+
+    asyncio.run(go())
+
+
+def test_backoff_is_jittered_exponential_with_cap():
+    import random
+
+    async def go():
+        t = TcpTransport(
+            0,
+            lambda p, m: None,
+            backoff_initial=0.1,
+            backoff_max=1.0,
+            rng=random.Random(7),
+        )
+        # No start() needed: the backoff schedule is pure arithmetic.
+        t.add_peer(1, "127.0.0.1", 1)
+        channel = t._channels[1]
+        for attempt in range(12):
+            uncapped = 0.1 * (2.0**attempt)
+            base = min(uncapped, 1.0)
+            for _ in range(20):
+                delay = channel._backoff_delay(attempt)
+                assert 0.5 * base <= delay <= base
+        # The cap binds from attempt 4 on (0.1 * 2**4 = 1.6 > 1.0).
+        assert all(channel._backoff_delay(k) <= 1.0 for k in range(4, 12))
+        await t.close()
+
+    asyncio.run(go())
+
+
+def test_reconnect_counted_after_listener_restart():
+    """Kill the listener mid-stream; the dialer backs off, reconnects to
+    the reborn listener on the same port, and counts the reconnect."""
+
+    async def go():
+        inbox = []
+        b = TcpTransport(1, lambda p, m: inbox.append((p, m)))
+        host, port = await b.start()
+        a = TcpTransport(0, lambda p, m: None, backoff_initial=0.01)
+        a.add_peer(1, host, port)
+        try:
+            assert a.send(1, encode_message(0, _sample_message(0)))
+            await _wait_for(lambda: len(inbox) == 1)
+            await b.close()  # listener dies (the kill -9 stand-in)
+            b2 = TcpTransport(1, lambda p, m: inbox.append((p, m)))
+            await b2.start()
+            b2.port = port  # informational; rebind below is what matters
+            b2._server.close()
+            await b2._server.wait_closed()
+            b2._server = await asyncio.start_server(
+                b2._handle_inbound, host=host, port=port
+            )
+            # Sends during the outage are either queued or dropped; keep
+            # offering until one lands on the new incarnation.
+            async def pump():
+                a.send(1, encode_message(0, _sample_message(1)))
+                return len(inbox) >= 2
+
+            deadline = asyncio.get_running_loop().time() + 5.0
+            while not await pump():
+                if asyncio.get_running_loop().time() > deadline:
+                    pytest.fail("no delivery after listener restart")
+                await asyncio.sleep(0.05)
+            assert a.reconnects >= 1
+            assert a.per_peer_counters()[1]["reconnects"] >= 1
+            assert a.per_peer_counters()[1]["connect_attempts"] >= 2
+            await b2.close()
+        finally:
+            await a.close()
+
+    asyncio.run(go())
+
+
+def test_reply_channel_round_trip_without_listener():
+    """A client (no listener) dials a replica and gets the reply back over
+    the same connection via the replica's accepted reply channel."""
+
+    async def go():
+        server_inbox = []
+        client_inbox = []
+        server = TcpTransport(0, lambda p, m: server_inbox.append((p, m)))
+        host, port = await server.start()
+        client = TcpTransport(1000, lambda p, m: client_inbox.append((p, m)))
+        client.add_peer(0, host, port)  # never calls start(): no listener
+        try:
+            assert client.send(0, encode_message(1000, _sample_message(0)))
+            await _wait_for(lambda: len(server_inbox) == 1)
+            assert server_inbox == [(1000, _sample_message(0))]
+            # The accepted connection became a reply channel for id 1000.
+            assert server.send(1000, encode_message(0, _sample_message(1)))
+            await _wait_for(lambda: len(client_inbox) == 1)
+            assert client_inbox == [(0, _sample_message(1))]
+            assert server.per_peer_counters()[1000]["frames_sent"] == 1
+        finally:
+            await client.close()
+            await server.close()
+
+    asyncio.run(go())
+
+
+def test_per_peer_counters_merge_static_and_accepted():
+    async def go():
+        a, b, inbox_a, inbox_b = await _start_pair()
+        try:
+            assert a.send(1, encode_message(0, _sample_message(0)))
+            await _wait_for(lambda: len(inbox_b) == 1)
+            counters = a.per_peer_counters()
+            assert counters[1]["frames_sent"] == 1
+            assert counters[1]["bytes_sent"] > 0
+            assert counters[1]["connect_attempts"] >= 1
+        finally:
+            await a.close()
+            await b.close()
 
     asyncio.run(go())
 

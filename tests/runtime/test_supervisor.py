@@ -1,0 +1,173 @@
+"""Multi-process supervisor: spec plumbing, chaos semantics, real SIGKILL.
+
+The heavyweight tests here spawn actual OS processes (one per replica)
+over localhost TCP — the same path CI's live-smoke job exercises — and
+therefore take a few wall-clock seconds each.
+"""
+
+import asyncio
+import sys
+
+import pytest
+
+from repro.faults.schedule import FaultSchedule, crash, recover, set_loss
+from repro.net.loss import IIDLoss
+from repro.runtime.replica_process import prefixes_consistent
+from repro.runtime.spec import ClusterSpec
+from repro.runtime.supervisor import Supervisor, kill_schedule
+
+# ----------------------------------------------------------------------
+# ClusterSpec
+# ----------------------------------------------------------------------
+def test_spec_roundtrip(tmp_path):
+    spec = ClusterSpec.create(4, tmp_path, seed=3, round_timeout=0.5, preload=50)
+    assert len(spec.ports) == 4 and len(set(spec.ports)) == 4
+    path = spec.save(tmp_path / "spec.json")
+    loaded = ClusterSpec.load(path)
+    assert loaded == spec
+    assert loaded.address(2) == (spec.host, spec.ports[2])
+    assert loaded.journal_path(1).name == "journal-1.log"
+    assert loaded.config().n == 4
+
+
+def test_spec_validation(tmp_path):
+    with pytest.raises(ValueError):
+        ClusterSpec(n=0)
+    with pytest.raises(ValueError):
+        ClusterSpec(n=4, ports=[1, 2])  # wrong arity
+    with pytest.raises(ValueError):
+        ClusterSpec.from_json('{"n": 4, "version": 99}')
+
+
+# ----------------------------------------------------------------------
+# Wall-clock schedule semantics
+# ----------------------------------------------------------------------
+def test_wall_clock_schedule_rejects_transport_shaping(tmp_path):
+    spec = ClusterSpec.create(4, tmp_path)
+    bad = FaultSchedule().at(1.0, set_loss(IIDLoss(drop=0.2)))
+    with pytest.raises(ValueError, match="wall-clock"):
+        Supervisor(spec, schedule=bad)
+    # Crash/recover schedules are the supported dialect.
+    Supervisor(spec, schedule=FaultSchedule().at(1.0, crash(1)).at(2.0, recover(1)))
+
+
+def test_kill_schedule_shape():
+    schedule = kill_schedule(3, 4, first_at=2.0, interval=5.0, recover_after=1.0)
+    described = [event.describe() for event in schedule.events]
+    assert described == [
+        "t=2.0: crash(1)",
+        "t=3.0: recover(1)",
+        "t=7.0: crash(2)",
+        "t=8.0: recover(2)",
+        "t=12.0: crash(3)",
+        "t=13.0: recover(3)",
+    ]
+
+
+# ----------------------------------------------------------------------
+# prefixes_consistent (pure function)
+# ----------------------------------------------------------------------
+def _status(ids):
+    return {"committed_ids": list(ids)}
+
+
+def test_prefixes_consistent_basics():
+    assert prefixes_consistent([])
+    assert prefixes_consistent([None, None])
+    assert prefixes_consistent([_status("ab"), _status("abc"), None])
+    assert not prefixes_consistent([_status("ab"), _status("ax")])
+    assert not prefixes_consistent([_status("abc"), None, _status("abd")])
+
+
+# ----------------------------------------------------------------------
+# Restart budget (no real replicas: the command dies instantly)
+# ----------------------------------------------------------------------
+class _CrashLoopSupervisor(Supervisor):
+    def _command(self, replica_id):
+        return [sys.executable, "-c", "import sys; sys.exit(3)"]
+
+
+def test_restart_budget_degrades_to_down(tmp_path):
+    spec = ClusterSpec.create(1, tmp_path)
+
+    async def go():
+        supervisor = _CrashLoopSupervisor(
+            spec,
+            restart_budget=2,
+            restart_backoff_initial=0.02,
+            restart_backoff_max=0.05,
+        )
+        await supervisor.start()
+        try:
+            deadline = asyncio.get_running_loop().time() + 10.0
+            while supervisor.handles[0].state != "down":
+                if asyncio.get_running_loop().time() > deadline:
+                    pytest.fail("crash-looping replica never degraded to down")
+                await asyncio.sleep(0.02)
+        finally:
+            await supervisor.stop()
+        return supervisor
+
+    supervisor = asyncio.run(go())
+    handle = supervisor.handles[0]
+    assert handle.restarts == 2  # the budget, fully spent
+    assert handle.spawns == 3  # initial + 2 restarts
+    assert any("budget" in description for _, description in supervisor.fault_log)
+    # The degraded replica blocks completion, never crashes the supervisor.
+    report = supervisor._report(timed_out=True, wall_seconds=0.0)
+    assert report.down == [0]
+
+
+def test_no_auto_restart_mode(tmp_path):
+    spec = ClusterSpec.create(1, tmp_path)
+
+    async def go():
+        supervisor = _CrashLoopSupervisor(spec, auto_restart=False)
+        await supervisor.start()
+        try:
+            deadline = asyncio.get_running_loop().time() + 10.0
+            while supervisor.handles[0].state != "down":
+                if asyncio.get_running_loop().time() > deadline:
+                    pytest.fail("replica never marked down")
+                await asyncio.sleep(0.02)
+        finally:
+            await supervisor.stop()
+        return supervisor
+
+    supervisor = asyncio.run(go())
+    assert supervisor.handles[0].restarts == 0
+    assert supervisor.handles[0].spawns == 1
+
+
+# ----------------------------------------------------------------------
+# The real thing: n=4 OS processes, one SIGKILL, durable recovery
+# ----------------------------------------------------------------------
+def test_multiprocess_cluster_survives_sigkill(tmp_path):
+    """n=4 processes over TCP; SIGKILL one replica mid-run and restart it;
+    the cluster keeps committing, the victim restores its journal and
+    catches up, and every published ledger prefix agrees."""
+    spec = ClusterSpec.create(4, tmp_path)
+    schedule = kill_schedule(1, 4, first_at=1.5, recover_after=1.0)
+
+    async def go():
+        supervisor = Supervisor(spec, schedule=schedule)
+        await supervisor.start()
+        try:
+            return await supervisor.wait(target_commits=10, duration=60.0)
+        finally:
+            await supervisor.stop()
+
+    report = asyncio.run(go())
+    assert not report.timed_out
+    assert report.commits >= 10
+    assert report.prefixes_consistent
+    assert len(report.kills) == 1
+    record = report.kills[0]
+    assert record.replica == 1
+    assert record.restart_seconds is not None
+    assert record.recovery_seconds is not None and record.recovery_seconds >= 0
+    # The restarted incarnation restored pre-crash safety state from disk.
+    victim_status = report.statuses[1]
+    assert victim_status is not None
+    assert victim_status["restored_from_journal"] is True
+    assert victim_status["height"] >= 10

@@ -1,0 +1,210 @@
+"""FileSafetyJournal: crash-safe persistence for the multi-process runtime.
+
+The file journal must survive ``kill -9`` at any instant — including mid-
+append.  These tests exercise the CRC framing, corrupt/truncated-tail
+fallback, atomic compaction, and the restore-on-construct path of
+:class:`~repro.storage.durable.DurableReplica`.
+"""
+
+import json
+import zlib
+
+import pytest
+
+from repro.runtime.cluster import ClusterBuilder
+from repro.storage import DurableReplica, FileSafetyJournal, SafetyJournal
+from repro.storage.journal import (
+    SafetySnapshot,
+    snapshot_from_dict,
+    snapshot_to_dict,
+)
+from repro.types.certificates import Rank
+
+
+def _snapshot(r_vote=5, v_cur=2):
+    return SafetySnapshot(
+        r_vote=r_vote,
+        rank_lock=Rank(1, True, 3),
+        v_cur=v_cur,
+        fallback_mode=True,
+        entered_view=2,
+        fallbacks_entered=2,
+        fallback_view=2,
+        fallback_r_vote={0: 1, 3: 2},
+        fallback_h_vote={1: 4},
+        proposed={(0, 1), (2, 7)},
+        fallback_proposed={2: 3},
+    )
+
+
+def test_snapshot_dict_roundtrip_preserves_every_field():
+    original = _snapshot()
+    restored = snapshot_from_dict(json.loads(json.dumps(snapshot_to_dict(original))))
+    assert restored == original
+
+
+def test_file_journal_roundtrip_across_reopen(tmp_path):
+    path = tmp_path / "journal.log"
+    journal = FileSafetyJournal(path)
+    assert journal.empty and journal.read() is None
+    journal.write(_snapshot(r_vote=5))
+    journal.write(_snapshot(r_vote=9, v_cur=3))
+    journal.close()
+
+    reopened = FileSafetyJournal(path)
+    assert not reopened.empty
+    restored = reopened.read()
+    assert restored.r_vote == 9 and restored.v_cur == 3
+    assert restored == _snapshot(r_vote=9, v_cur=3)
+    assert not reopened.recovered_from_corruption
+    reopened.close()
+
+
+def test_file_journal_snapshots_are_isolated(tmp_path):
+    journal = FileSafetyJournal(tmp_path / "journal.log")
+    snapshot = SafetySnapshot(proposed={(0, 1)})
+    journal.write(snapshot)
+    snapshot.proposed.add((0, 2))  # mutating the original must not leak in
+    assert journal.read().proposed == {(0, 1)}
+    journal.read().proposed.add((0, 9))  # nor mutating a read copy
+    assert journal.read().proposed == {(0, 1)}
+    journal.close()
+
+
+def test_truncated_tail_falls_back_to_last_good_record(tmp_path):
+    """kill -9 mid-append leaves a partial last line; recovery must land on
+    the previous intact record, not raise."""
+    path = tmp_path / "journal.log"
+    journal = FileSafetyJournal(path)
+    journal.write(_snapshot(r_vote=4))
+    journal.write(_snapshot(r_vote=8))
+    journal.close()
+
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) - 17])  # chop into the final record
+
+    recovered = FileSafetyJournal(path)
+    assert recovered.read().r_vote == 4
+    assert recovered.recovered_from_corruption
+    assert recovered.corrupt_records_dropped == 1
+    recovered.close()
+
+
+def test_corrupted_tail_bytes_detected_by_crc(tmp_path):
+    """Garbled (not just truncated) tail: the CRC catches bit rot that is
+    still valid JSON length-wise."""
+    path = tmp_path / "journal.log"
+    journal = FileSafetyJournal(path)
+    journal.write(_snapshot(r_vote=4))
+    journal.write(_snapshot(r_vote=8))
+    journal.close()
+
+    lines = path.read_bytes().splitlines(keepends=True)
+    crc, body = lines[-1].split(b" ", 1)
+    lines[-1] = crc + b" " + body.replace(b'"r_vote":8', b'"r_vote":9')
+    path.write_bytes(b"".join(lines))
+
+    recovered = FileSafetyJournal(path)
+    assert recovered.read().r_vote == 4  # the forged 9 failed its CRC
+    assert recovered.recovered_from_corruption
+    recovered.close()
+
+
+def test_entirely_corrupt_journal_loads_empty_not_raises(tmp_path):
+    path = tmp_path / "journal.log"
+    path.write_bytes(b"\x00\xff garbage\nnot a record either\n")
+    journal = FileSafetyJournal(path)
+    assert journal.empty and journal.read() is None
+    assert journal.corrupt_records_dropped == 2
+    # Nothing good to fall back to: this is a fresh start, not a recovery.
+    assert not journal.recovered_from_corruption
+    # And the journal is still writable.
+    journal.write(_snapshot(r_vote=1))
+    assert journal.read().r_vote == 1
+    journal.close()
+
+
+def test_valid_record_with_bad_schema_is_dropped(tmp_path):
+    """A CRC-clean record whose JSON is missing fields counts as corrupt."""
+    path = tmp_path / "journal.log"
+    body = b'{"not": "a snapshot"}'
+    path.write_bytes(f"{zlib.crc32(body):08x} ".encode() + body + b"\n")
+    journal = FileSafetyJournal(path)
+    assert journal.empty
+    assert journal.corrupt_records_dropped == 1
+    journal.close()
+
+
+def test_compaction_bounds_file_and_preserves_state(tmp_path):
+    path = tmp_path / "journal.log"
+    journal = FileSafetyJournal(path, compact_every=10)
+    for r_vote in range(1, 26):
+        journal.write(_snapshot(r_vote=r_vote))
+    journal.close()
+
+    lines = [line for line in path.read_bytes().split(b"\n") if line]
+    assert len(lines) <= 10  # compacted at writes 10 and 20
+    assert not (path.parent / "journal.log.tmp").exists()  # atomic swap
+
+    reopened = FileSafetyJournal(path)
+    assert reopened.read().r_vote == 25
+    reopened.close()
+
+
+def test_compact_every_validation(tmp_path):
+    with pytest.raises(ValueError):
+        FileSafetyJournal(tmp_path / "j.log", compact_every=0)
+
+
+# ----------------------------------------------------------------------
+# DurableReplica restore-on-construct (the process-restart path)
+# ----------------------------------------------------------------------
+def _build_with_journal(journal):
+    def factory(*args, **kwargs):
+        return DurableReplica(*args, **kwargs, journal=journal)
+
+    builder = ClusterBuilder(n=4, seed=81)
+    builder.with_byzantine(0, factory)  # reuse the slot mechanism
+    return builder.build()
+
+
+def test_durable_replica_restores_prepopulated_journal_on_construct():
+    """A non-empty journal means process restart: the new incarnation must
+    adopt the persisted safety state before its first write."""
+    journal = SafetyJournal()
+    journal.write(_snapshot(r_vote=7, v_cur=2))
+    cluster = _build_with_journal(journal)
+    replica = cluster.replicas[0]
+    assert replica.safety.r_vote == 7
+    assert replica.safety.rank_lock == Rank(1, True, 3)
+    assert replica.v_cur == 2
+    assert replica.fallbacks_entered == 2
+    # The restore itself was re-persisted (write-ahead from the start).
+    assert journal.read().r_vote == 7
+
+
+def test_durable_replica_fresh_journal_unchanged_behavior():
+    journal = SafetyJournal()
+    cluster = _build_with_journal(journal)
+    replica = cluster.replicas[0]
+    assert replica.safety.r_vote == 0 and replica.v_cur == 0
+    cluster.run_until_commits(5, until=5_000)
+    assert journal.read().r_vote == replica.safety.r_vote
+
+
+def test_durable_replica_over_file_journal_restart_cycle(tmp_path):
+    """Full cycle: run with a file journal, 'kill' the incarnation (drop
+    it), restart against the same file, observe the restored vote floor."""
+    path = tmp_path / "journal.log"
+    first = FileSafetyJournal(path)
+    cluster = _build_with_journal(first)
+    cluster.run_until_commits(8, until=5_000)
+    pre_crash = cluster.replicas[0].safety.r_vote
+    assert pre_crash > 0
+    first.close()
+
+    second = FileSafetyJournal(path)
+    assert not second.empty
+    fresh_cluster = _build_with_journal(second)
+    assert fresh_cluster.replicas[0].safety.r_vote == pre_crash
+    second.close()
