@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Complexity sweep: messages/bytes per decision vs n, fitted against Table 1.
+
+Theorem 9 (and Table 1) claim O(n) messages per decision on the steady path
+(honest leaders under synchrony) and O(n²) in the asynchronous fallback.
+This bench sweeps cluster sizes under both regimes, measures per-decision
+costs with the same honest-sender accounting the paper uses, and fits the
+empirical scaling exponent (log-log least squares):
+
+- ``steady``: synchronous network, honest leaders — one leader proposal
+  fan-out plus one vote per replica per round; expect slope ≈ 1.
+- ``fallback``: the leader-targeting adversary forces every view into the
+  fallback — n concurrent leaderless chains, all-to-all votes; expect
+  slope ≈ 2.
+
+Cluster sizes must satisfy n = 3f+1 (the protocol's resilience shape), so
+the default sweep is 4, 7, 16, 31, 64 rather than powers of two.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_complexity.py --ns 4 7 16 31 64
+
+or through ``run_benchmarks.py --complexity``.  Small sweeps carry visible
+constant factors (the "+1" in n+1 messages matters at n=4), so verdicts use
+a deliberately loose ±0.5 tolerance — this catches a broken complexity
+class, not decimal drift.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.analysis.complexity import ScalingFit, fit_sweep, per_decision_costs
+from repro.analysis.tables import render_scaling_table, render_table
+from repro.experiments.scenarios import build_cluster, leader_attack_factory
+
+#: Default sweep (each n is 3f+1); n=127 is reachable with --ns but not
+#: default (the fallback regime at n=127 is ~a minute of wall clock).
+DEFAULT_NS = (4, 7, 16, 31, 64)
+
+#: Per-regime (target decisions, sim-time bound).  The fallback needs far
+#: fewer decisions for a stable per-decision figure: every decision already
+#: aggregates a whole view's quadratic traffic.
+REGIMES = {
+    "steady": (50, 100_000.0),
+    "fallback": (8, 400_000.0),
+}
+
+
+def _build(regime: str, n: int, seed: int):
+    if regime == "steady":
+        return build_cluster("fallback-3chain", n, seed=seed)
+    if regime == "fallback":
+        return build_cluster(
+            "fallback-3chain", n, seed=seed, delay_factory=leader_attack_factory()
+        )
+    raise SystemExit(f"unknown regime {regime!r}")
+
+
+def run_point(regime: str, n: int, seed: int) -> dict:
+    """One (regime, n) measurement: per-decision costs + run stats."""
+    target, until = REGIMES[regime]
+    cluster = _build(regime, n, seed)
+    wall_start = time.perf_counter()
+    result = cluster.run_until_commits(target, until=until)
+    wall = time.perf_counter() - wall_start
+    costs = per_decision_costs(cluster.metrics)
+    return {
+        "regime": regime,
+        "n": n,
+        "seed": seed,
+        "decisions": costs.decisions,
+        "messages_per_decision": costs.messages_per_decision,
+        "bytes_per_decision": costs.bytes_per_decision,
+        "steady_messages": costs.steady_messages,
+        "view_change_messages": costs.view_change_messages,
+        "events": result.events_processed,
+        "wall_seconds": round(wall, 4),
+        "events_per_sec": round(result.events_processed / wall, 1)
+        if wall > 0
+        else None,
+    }
+
+
+def run_sweep(ns, seed: int = 1, regimes=None) -> dict:
+    """Full sweep: one point per (regime, n), plus fitted exponents."""
+    points = []
+    for regime in regimes or sorted(REGIMES):
+        for n in ns:
+            point = run_point(regime, n, seed)
+            points.append(point)
+            print(
+                f"{regime:<9} n={n:<4} decisions={point['decisions']:<4} "
+                f"msgs/dec={point['messages_per_decision']:>9.1f} "
+                f"bytes/dec={point['bytes_per_decision']:>11.1f} "
+                f"wall={point['wall_seconds']:.2f}s",
+                flush=True,
+            )
+    fits = fit_all(points)
+    return {
+        "ns": list(ns),
+        "seed": seed,
+        "points": points,
+        "fits": [
+            {
+                "regime": fit.regime,
+                "metric": fit.metric,
+                "slope": round(fit.slope, 3),
+                "class": fit.label,
+                "claimed": fit.claimed,
+                "matches_claim": fit.matches_claim(),
+            }
+            for fit in fits
+        ],
+    }
+
+
+def fit_all(points) -> list[ScalingFit]:
+    fits = []
+    for regime in sorted({point["regime"] for point in points}):
+        regime_points = [p for p in points if p["regime"] == regime]
+        ns = [p["n"] for p in regime_points]
+        for metric, key in (
+            ("messages", "messages_per_decision"),
+            ("bytes", "bytes_per_decision"),
+        ):
+            fits.append(fit_sweep(regime, metric, ns, [p[key] for p in regime_points]))
+    return fits
+
+
+def render(sweep: dict) -> str:
+    rows = [
+        [
+            p["regime"],
+            p["n"],
+            p["decisions"],
+            p["messages_per_decision"],
+            p["bytes_per_decision"],
+            p["wall_seconds"],
+        ]
+        for p in sweep["points"]
+    ]
+    table = render_table(
+        ["regime", "n", "decisions", "msgs/decision", "bytes/decision", "wall_s"],
+        rows,
+        title="Per-decision communication cost vs cluster size",
+    )
+    fits = fit_all(sweep["points"])
+    return table + "\n\n" + render_scaling_table(fits)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--ns",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_NS),
+        help="cluster sizes to sweep (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--regime",
+        action="append",
+        choices=sorted(REGIMES),
+        help="regime to sweep (repeatable; default: both)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--json", type=Path, default=None, help="write results here")
+    args = parser.parse_args(argv)
+
+    if len(args.ns) < 2:
+        raise SystemExit("need at least two cluster sizes to fit a slope")
+    bad = [n for n in args.ns if n < 4 or (n - 1) % 3]
+    if bad:
+        raise SystemExit(f"cluster sizes must be 3f+1 with f >= 1; bad: {bad}")
+    sweep = run_sweep(sorted(set(args.ns)), seed=args.seed, regimes=args.regime)
+    print()
+    print(render(sweep))
+    for fit in sweep["fits"]:
+        if fit["claimed"] is not None and not fit["matches_claim"]:
+            print(
+                f"WARNING: {fit['regime']} messages scale as n^{fit['slope']}, "
+                f"Table 1 claims n^{fit['claimed']:.0f}",
+                file=sys.stderr,
+            )
+    if args.json is not None:
+        args.json.write_text(json.dumps(sweep, indent=2) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

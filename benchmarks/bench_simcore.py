@@ -5,9 +5,10 @@ This is the perf baseline for the discrete-event engine and crypto layer —
 it measures how fast the *simulator* runs, independent of the protocol
 numbers the other benches reproduce.  Scenarios:
 
-- ``steady-n4`` / ``steady-n16``: the linear fast path under synchrony.
-- ``fallback-n4``: the leader-targeting adversary forces the asynchronous
-  fallback every view, exercising the quadratic machinery.
+- ``steady-n4`` / ``steady-n16`` / ``steady-n64`` / ``steady-n256``: the
+  linear fast path under synchrony, up to the scale targets.
+- ``fallback-n4`` / ``fallback-n64``: the leader-targeting adversary forces
+  the asynchronous fallback every view, exercising the quadratic machinery.
 - ``lossy20-n4``: 20% IID loss under reliable channels (retransmission,
   acks and dedup dominate the event count).
 
@@ -75,7 +76,10 @@ def _build_lossy(n: int, seed: int, rate: float = 0.2) -> Cluster:
 SCENARIOS = {
     "steady-n4": (lambda seed: _build_steady(4, seed), 1000, 100_000.0),
     "steady-n16": (lambda seed: _build_steady(16, seed), 400, 100_000.0),
+    "steady-n64": (lambda seed: _build_steady(64, seed), 100, 100_000.0),
+    "steady-n256": (lambda seed: _build_steady(256, seed), 20, 100_000.0),
     "fallback-n4": (lambda seed: _build_fallback(4, seed), 100, 400_000.0),
+    "fallback-n64": (lambda seed: _build_fallback(64, seed), 10, 400_000.0),
     "lossy20-n4": (lambda seed: _build_lossy(4, seed), 400, 100_000.0),
 }
 
@@ -166,6 +170,7 @@ def run_scenario(
         # Cache stats ride outside the fingerprint: they are new keys a
         # perf change may move, while the fingerprint must stay fixed.
         "cert_cache": cluster.metrics.cert_cache_counters(),
+        "share_pool": cluster.metrics.share_pool_counters(),
         "hash_cache_entries": hash_cache_size(),
     }
 

@@ -42,3 +42,27 @@ def fmt_cost(cost: Optional[float]) -> str:
     if cost is None:
         return "no decisions (not live)"
     return f"{cost:.1f}"
+
+
+def render_scaling_table(fits: Sequence) -> str:
+    """Render :class:`~repro.analysis.complexity.ScalingFit` rows next to
+    Table 1's claimed exponents (messages rows only carry a claim)."""
+    rows = []
+    for fit in fits:
+        claimed = f"n^{fit.claimed:.0f}" if fit.claimed is not None else "-"
+        verdict = "ok" if fit.matches_claim() else "MISMATCH"
+        rows.append(
+            [
+                fit.regime,
+                fit.metric,
+                f"n^{fit.slope:.2f}",
+                fit.label,
+                claimed,
+                verdict if fit.claimed is not None else "-",
+            ]
+        )
+    return render_table(
+        ["regime", "metric", "fitted", "class", "Table 1", "verdict"],
+        rows,
+        title="Scaling exponents (log-log fit of per-decision cost vs n)",
+    )

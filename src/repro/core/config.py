@@ -49,6 +49,14 @@ class ProtocolConfig:
             (Section 4 needs it for liveness under the 1-chain lock).
         sync_missing_blocks: request blocks we saw certified but never
             received (catch-up); keep on except in complexity microbenches.
+        deferred_share_verify: skip eager per-arrival verification of
+            threshold/coin shares and validate only at combine time (the
+            batched mode: one pooled pass over the quorum instead of one
+            hash per arriving duplicate).  Invalid shares surface as a
+            failed combine, which evicts them and resumes waiting —
+            liveness is unchanged because 2f+1 honest shares always
+            combine.  Off by default: eager mode keeps recorded benchmark
+            fingerprints byte-identical.
         validity_predicate: optional external-validity predicate (the
             paper's validated BFT SMR): honest replicas propose only valid
             transactions and refuse to vote for blocks containing invalid
@@ -63,6 +71,7 @@ class ProtocolConfig:
     leader_rotation_interval: int = 4
     fallback_adoption: Optional[bool] = None
     sync_missing_blocks: bool = True
+    deferred_share_verify: bool = False
     validity_predicate: Optional[ValidityPredicate] = None
 
     def __post_init__(self) -> None:

@@ -16,12 +16,22 @@ they learn at each height instead of waiting for their own chain.  It is the
 default for the 2-chain variant (Section 4 requires it for liveness under
 the 1-chain lock) and also repairs a liveness corner of the 3-chain
 protocol under Byzantine timeout racing (see DESIGN.md).
+
+Hot-path organization: all per-view working state (timeout shares, coin
+shares, completion announcements, own chain, f-QCs) lives in one dense
+:class:`~repro.core.quorum.FallbackViewState` per view instead of parallel
+per-view dicts, and share buckets are incremental
+:class:`~repro.core.quorum.ShareQuorumTracker` arrays with O(1) threshold
+checks.  With ``config.deferred_share_verify`` the per-arrival share hash
+check is skipped and validation happens (pooled) at combine time; a failed
+combine evicts the invalid shares and resumes waiting.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Iterator, Optional
 
+from repro.core.quorum import FallbackViewState, ShareQuorumTracker
 from repro.core.validation import (
     effective_rank,
     verify_fallback_qc,
@@ -55,9 +65,12 @@ class FallbackEngine:
         self.config = replica.config
         self.crypto = replica.crypto
         self.top_height = self.config.fallback_top_height
+        self.n = self.config.n
+        self._deferred = self.config.deferred_share_verify
 
-        # Timeout aggregation: view -> signer -> share.
-        self._timeout_shares: dict[int, dict[int, ThresholdSignatureShare]] = {}
+        #: Per-view fallback working set (dense arrays; see
+        #: :class:`~repro.core.quorum.FallbackViewState`).
+        self._views: dict[int, FallbackViewState] = {}
         self._timeout_sent_views: set[int] = set()
 
         #: Highest view whose fallback this replica has entered (-1 = none).
@@ -65,32 +78,47 @@ class FallbackEngine:
         #: Views whose coin-QC we have already acted upon (exited).
         self._exited_views: set[int] = set()
 
-        #: All f-QCs seen, keyed (view, proposer, height) — the paper's
-        #: "records all the f-QCs of view v by replica j".
-        self.fqcs: dict[tuple[int, int, int], FallbackQC] = {}
         #: View -> CoinQC (kept forever: endorsement checks on old blocks).
         self.coin_qcs: dict[int, CoinQC] = {}
 
-        # Own chain construction.
-        self._own_blocks: dict[tuple[int, int], FallbackBlock] = {}
-        self._own_vote_shares: dict[str, dict[int, ThresholdSignatureShare]] = {}
-        self._max_proposed_height: dict[int, int] = {}
-
-        # Chain-completion announcements: view -> announcing identities.
-        self._completed: dict[int, set[int]] = {}
         self._coin_share_sent: set[int] = set()
-
-        # Coin shares: view -> signer -> share.
-        self._coin_shares: dict[int, dict[int, CoinShare]] = {}
         self._coin_qc_forwarded: set[int] = set()
 
-        self._ftcs: dict[int, FallbackTC] = {}
+        # Type-keyed dispatch (exact types; subclasses fall through to the
+        # isinstance chain in handle()).
+        self._dispatch: dict[type, Callable[[int, object], None]] = {
+            FallbackTimeout: self.handle_timeout,  # type: ignore[dict-item]
+            FallbackTCMessage: self._handle_tc_message,  # type: ignore[dict-item]
+            FallbackProposal: self.handle_proposal,  # type: ignore[dict-item]
+            FallbackVote: self.handle_vote,  # type: ignore[dict-item]
+            FallbackQCMessage: self.handle_fqc_message,  # type: ignore[dict-item]
+            CoinShareMessage: self.handle_coin_share,  # type: ignore[dict-item]
+            CoinQCMessage: self.handle_coin_qc,  # type: ignore[dict-item]
+        }
+
+    # ------------------------------------------------------------------
+    # Per-view state
+    # ------------------------------------------------------------------
+    def _view_state(self, view: int) -> FallbackViewState:
+        state = self._views.get(view)
+        if state is None:
+            state = FallbackViewState(
+                self.n,
+                self.replica.quorum,
+                self.config.coin_threshold,
+                self.top_height,
+            )
+            self._views[view] = state
+        return state
 
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
     def handle(self, sender: int, message: object) -> None:
-        if isinstance(message, FallbackTimeout):
+        handler = self._dispatch.get(type(message))
+        if handler is not None:
+            handler(sender, message)
+        elif isinstance(message, FallbackTimeout):
             self.handle_timeout(sender, message)
         elif isinstance(message, FallbackTCMessage):
             self.maybe_enter_fallback(message.ftc)
@@ -104,6 +132,9 @@ class FallbackEngine:
             self.handle_coin_share(sender, message)
         elif isinstance(message, CoinQCMessage):
             self.handle_coin_qc(sender, message)
+
+    def _handle_tc_message(self, sender: int, message: FallbackTCMessage) -> None:
+        self.maybe_enter_fallback(message.ftc)
 
     # ------------------------------------------------------------------
     # Timer and Timeout
@@ -129,7 +160,9 @@ class FallbackEngine:
         share = message.share
         if share.signer != sender:
             return
-        if not self.crypto.verify_share(share, ("ftimeout", message.view)):
+        if not self._deferred and not self.crypto.verify_share(
+            share, ("ftimeout", message.view)
+        ):
             return
         if not verify_parent_cert(self.crypto, message.qc_high):
             return
@@ -137,14 +170,20 @@ class FallbackEngine:
         replica.process_certificate(message.qc_high)
         if message.view < replica.v_cur:
             return  # stale view: lock processed, share useless
-        bucket = self._timeout_shares.setdefault(message.view, {})
-        bucket[sender] = share
-        if len(bucket) >= replica.quorum and self.entered_view < message.view:
+        tracker = self._view_state(message.view).timeouts
+        tracker.add(sender, share)
+        if tracker.reached and self.entered_view < message.view:
             payload = ("ftimeout", message.view)
-            ftc = FallbackTC(
-                view=message.view,
-                signature=self.crypto.combine(bucket.values(), payload),
-            )
+            try:
+                signature = self.crypto.combine(tracker.shares(), payload)
+            except SignatureError:
+                # Deferred verification: a Byzantine share snuck into the
+                # quorum — evict everything invalid and keep waiting.
+                tracker.evict_invalid(
+                    lambda s: self.crypto.verify_share(s, payload)
+                )
+                return
+            ftc = FallbackTC(view=message.view, signature=signature)
             self.maybe_enter_fallback(ftc)
 
     # ------------------------------------------------------------------
@@ -156,7 +195,7 @@ class FallbackEngine:
             return
         if not verify_fallback_tc(self.crypto, ftc):
             return
-        self._ftcs[ftc.view] = ftc
+        self._view_state(ftc.view).ftc = ftc
         replica.fallback_mode = True
         replica.v_cur = ftc.view
         self.entered_view = ftc.view
@@ -180,8 +219,10 @@ class FallbackEngine:
             batch=replica.next_valid_batch(),
         )
         replica.store.add(block)
-        self._own_blocks[(view, 1)] = block
-        self._max_proposed_height[view] = max(self._max_proposed_height.get(view, 0), 1)
+        state = self._view_state(view)
+        state.own_blocks[1] = block
+        if state.max_proposed_height < 1:
+            state.max_proposed_height = 1
         replica.network.multicast(
             replica.process_id, FallbackProposal(fblock=block, ftc=ftc)
         )
@@ -252,7 +293,10 @@ class FallbackEngine:
         share = message.share
         if share.signer != sender:
             return
-        own = self._own_blocks.get((message.view, message.height))
+        state = self._views.get(message.view)
+        if state is None or not 1 <= message.height <= self.top_height:
+            return
+        own = state.own_blocks[message.height]
         if own is None or own.id != message.block_id:
             return
         payload = (
@@ -263,18 +307,24 @@ class FallbackEngine:
             message.height,
             message.proposer,
         )
-        if not self.crypto.verify_share(share, payload):
+        if not self._deferred and not self.crypto.verify_share(share, payload):
             return
-        bucket = self._own_vote_shares.setdefault(message.block_id, {})
-        bucket[sender] = share
-        if len(bucket) < replica.quorum:
+        tracker = state.own_votes[message.height]
+        if tracker is None:
+            tracker = ShareQuorumTracker(self.n, replica.quorum)
+            state.own_votes[message.height] = tracker
+        tracker.add(sender, share)
+        if not tracker.reached:
             return
-        key = (message.view, message.proposer, message.height)
-        if key in self.fqcs:
+        if state.fqc_get(message.proposer, message.height) is not None:
             return  # already certified
         try:
-            signature = self.crypto.combine(bucket.values(), payload)
+            signature = self.crypto.combine(tracker.shares(), payload)
         except SignatureError:
+            if self._deferred:
+                tracker.evict_invalid(
+                    lambda s: self.crypto.verify_share(s, payload)
+                )
             return
         fqc = FallbackQC(
             block_id=message.block_id,
@@ -301,7 +351,8 @@ class FallbackEngine:
         replica = self.replica
         view = parent_fqc.view
         height = parent_fqc.height + 1
-        if self._max_proposed_height.get(view, 0) >= height:
+        state = self._view_state(view)
+        if state.max_proposed_height >= height:
             return
         block = FallbackBlock(
             qc=parent_fqc,
@@ -312,16 +363,14 @@ class FallbackEngine:
             batch=replica.next_valid_batch(),
         )
         replica.store.add(block)
-        self._own_blocks[(view, height)] = block
-        self._max_proposed_height[view] = height
+        state.own_blocks[height] = block
+        state.max_proposed_height = height
         replica.network.multicast(replica.process_id, FallbackProposal(fblock=block))
 
     def record_fqc(self, fqc: FallbackQC) -> None:
         """Store an f-QC; feeds endorsement, adoption, and late commits."""
-        key = (fqc.view, fqc.proposer, fqc.height)
-        if key in self.fqcs:
+        if not self._view_state(fqc.view).fqc_set(fqc.proposer, fqc.height, fqc):
             return
-        self.fqcs[key] = fqc
         # If the view's coin already elected this proposer, the f-QC is
         # endorsed and acts as a regular QC.
         coin_qc = self.coin_qcs.get(fqc.view)
@@ -347,14 +396,14 @@ class FallbackEngine:
         if not verify_fallback_qc(self.crypto, fqc):
             return
         self.record_fqc(fqc)
-        completed = self._completed.setdefault(fqc.view, set())
+        completed = self._view_state(fqc.view).completed
         if self.config.fallback_top_height == 2:
             # Figure 4 counts announcements "signed by distinct replicas".
             completed.add(sender)
         else:
             completed.add(fqc.proposer)
         if (
-            len(completed) >= replica.quorum
+            completed.count >= replica.quorum
             and replica.fallback_mode
             and fqc.view == replica.v_cur
             and fqc.view not in self._coin_share_sent
@@ -370,15 +419,19 @@ class FallbackEngine:
         share = message.share
         if share.signer != sender:
             return
-        if not self.crypto.verify_coin_share(share):
+        if not self._deferred and not self.crypto.verify_coin_share(share):
             return
         view = share.view
         if view in self.coin_qcs:
             return
-        bucket = self._coin_shares.setdefault(view, {})
-        bucket[sender] = share
-        if len(bucket) >= self.config.coin_threshold:
-            coin_qc = self.crypto.reveal_coin(bucket.values(), view)
+        tracker = self._view_state(view).coin_shares
+        tracker.add(sender, share)
+        if tracker.reached:
+            try:
+                coin_qc = self.crypto.reveal_coin(tracker.shares(), view)
+            except SignatureError:
+                tracker.evict_invalid(self.crypto.verify_coin_share)
+                return
             self.exit_fallback(coin_qc)
 
     def handle_coin_qc(self, sender: int, message: CoinQCMessage) -> None:
@@ -419,8 +472,11 @@ class FallbackEngine:
 
     def _process_endorsed(self, view: int, leader: int) -> None:
         """Handle the elected leader's stored f-QCs as regular QCs."""
+        state = self._views.get(view)
+        if state is None:
+            return
         for height in range(self.top_height, 0, -1):
-            fqc = self.fqcs.get((view, leader, height))
+            fqc = state.fqc_get(leader, height)
             if fqc is not None:
                 self.replica.process_certificate(fqc)
                 return
@@ -438,18 +494,97 @@ class FallbackEngine:
         horizon = current_view - self.PRUNE_MARGIN
         if horizon <= 0:
             return
-        for mapping in (
-            self._timeout_shares,
-            self._coin_shares,
-            self._completed,
-            self._max_proposed_height,
-            self._ftcs,
-        ):
-            for view in [v for v in mapping if v < horizon]:
-                del mapping[view]
-        stale_blocks = [key for key in self._own_blocks if key[0] < horizon]
-        for key in stale_blocks:
-            block = self._own_blocks.pop(key)
-            self._own_vote_shares.pop(block.id, None)
-        for key in [k for k in self.fqcs if k[0] < horizon]:
-            del self.fqcs[key]
+        for view in [v for v in self._views if v < horizon]:
+            del self._views[view]
+
+    # ------------------------------------------------------------------
+    # Durable-snapshot support
+    # ------------------------------------------------------------------
+    def proposed_heights(self) -> dict[int, int]:
+        """View -> own max proposed f-block height (journal snapshot)."""
+        return {
+            view: state.max_proposed_height
+            for view, state in self._views.items()
+            if state.max_proposed_height > 0
+        }
+
+    def restore_proposed_heights(self, heights: dict[int, int]) -> None:
+        """Journal restore: never re-propose already-covered heights."""
+        for view, height in heights.items():
+            self._view_state(view).max_proposed_height = height
+
+    # ------------------------------------------------------------------
+    # Introspection (tests and tooling; not on the message hot path)
+    # ------------------------------------------------------------------
+    @property
+    def fqcs(self) -> dict[tuple[int, int, int], FallbackQC]:
+        """All retained f-QCs keyed (view, proposer, height) — the paper's
+        "records all the f-QCs of view v by replica j", materialized from
+        the dense per-view arrays."""
+        return {
+            (view, proposer, height): fqc
+            for view, state in self._views.items()
+            for (proposer, height), fqc in state.fqc_items()
+        }
+
+    @property
+    def _timeout_shares(self) -> dict[int, dict[int, ThresholdSignatureShare]]:
+        return {
+            view: dict(zip(state.timeouts.signers(), state.timeouts.shares()))
+            for view, state in self._views.items()
+            if state.timeouts.count > 0
+        }
+
+    @property
+    def _coin_shares(self) -> dict[int, dict[int, CoinShare]]:
+        return {
+            view: dict(zip(state.coin_shares.signers(), state.coin_shares.shares()))
+            for view, state in self._views.items()
+            if state.coin_shares.count > 0
+        }
+
+    @property
+    def _completed(self) -> dict[int, set[int]]:
+        return {
+            view: set(state.completed.members())
+            for view, state in self._views.items()
+            if state.completed.count > 0
+        }
+
+    @property
+    def _own_blocks(self) -> dict[tuple[int, int], FallbackBlock]:
+        return {
+            (view, height): block
+            for view, state in self._views.items()
+            for height, block in enumerate(state.own_blocks)
+            if block is not None
+        }
+
+    @property
+    def _own_vote_shares(self) -> dict[str, dict[int, ThresholdSignatureShare]]:
+        result: dict[str, dict[int, ThresholdSignatureShare]] = {}
+        for state in self._views.values():
+            for height, tracker in enumerate(state.own_votes):
+                if tracker is None or tracker.count == 0:
+                    continue
+                block = state.own_blocks[height]
+                if block is not None:
+                    result[block.id] = dict(
+                        zip(tracker.signers(), tracker.shares())
+                    )
+        return result
+
+    @property
+    def _max_proposed_height(self) -> dict[int, int]:
+        return self.proposed_heights()
+
+    @property
+    def _ftcs(self) -> dict[int, FallbackTC]:
+        return {
+            view: state.ftc
+            for view, state in self._views.items()
+            if state.ftc is not None
+        }
+
+    def _iter_views(self) -> Iterator[tuple[int, FallbackViewState]]:
+        return iter(self._views.items())

@@ -19,7 +19,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.core.quorum import ShareQuorumTracker
 from repro.core.validation import verify_parent_cert, verify_timeout_cert
+from repro.crypto.signatures import SignatureError
 from repro.crypto.threshold import ThresholdSignatureShare
 from repro.types.certificates import TimeoutCertificate
 from repro.types.messages import PacemakerTCMessage, PacemakerTimeout
@@ -34,8 +36,11 @@ class PacemakerEngine:
     def __init__(self, replica: "Replica") -> None:
         self.replica = replica
         self.crypto = replica.crypto
-        # Round -> signer -> share.
-        self._timeout_shares: dict[int, dict[int, ThresholdSignatureShare]] = {}
+        self._deferred = replica.config.deferred_share_verify
+        # Round -> incremental share tracker (O(1) quorum checks).
+        self._timeout_shares: dict[
+            int, ShareQuorumTracker[ThresholdSignatureShare]
+        ] = {}
         self._timeout_sent_rounds: set[int] = set()
         self._tcs: dict[int, TimeoutCertificate] = {}
 
@@ -72,7 +77,9 @@ class PacemakerEngine:
         share = message.share
         if share.signer != sender:
             return
-        if not self.crypto.verify_share(share, ("timeout", message.round)):
+        if not self._deferred and not self.crypto.verify_share(
+            share, ("timeout", message.round)
+        ):
             return
         if not verify_parent_cert(self.crypto, message.qc_high):
             return
@@ -80,17 +87,26 @@ class PacemakerEngine:
         replica.process_certificate(message.qc_high)
         if message.round < replica.r_cur - 1:
             return  # too stale to matter for round advancement
-        bucket = self._timeout_shares.setdefault(message.round, {})
-        bucket[sender] = share
+        tracker = self._timeout_shares.get(message.round)
+        if tracker is None:
+            tracker = ShareQuorumTracker(replica.config.n, replica.quorum)
+            self._timeout_shares[message.round] = tracker
+        tracker.add(sender, share)
         # Timeout joining (see module docstring).
         if message.round >= replica.r_cur:
             self._send_timeout(message.round)
-        if len(bucket) >= replica.quorum and message.round not in self._tcs:
+        if tracker.reached and message.round not in self._tcs:
             payload = ("timeout", message.round)
-            tc = TimeoutCertificate(
-                round=message.round,
-                signature=self.crypto.combine(bucket.values(), payload),
-            )
+            try:
+                signature = self.crypto.combine(tracker.shares(), payload)
+            except SignatureError:
+                # Deferred verification: evict the invalid shares and keep
+                # waiting for an honest quorum.
+                tracker.evict_invalid(
+                    lambda s: self.crypto.verify_share(s, payload)
+                )
+                return
+            tc = TimeoutCertificate(round=message.round, signature=signature)
             self._tcs[message.round] = tc
             self._advance_via_tc(tc)
 

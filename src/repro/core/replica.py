@@ -24,12 +24,13 @@ replica logic is byte-for-byte independent of the transport in play.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.core.commit import find_commit_target, parent_rank_of
 from repro.core.config import ProtocolConfig, ProtocolVariant
 from repro.core.context import CryptoContext
 from repro.core.leader import LeaderSchedule
+from repro.core.quorum import ShareQuorumTracker
 from repro.core.safety import SafetyRules
 from repro.core.validation import (
     AnyCert,
@@ -54,6 +55,7 @@ from repro.types.certificates import (
     max_cert,
 )
 from repro.types.transactions import Batch
+from repro.crypto.signatures import SignatureError
 from repro.crypto.threshold import ThresholdSignatureShare
 from repro.client.client import ClientReply, ClientRequest
 from repro.types.messages import (
@@ -85,6 +87,9 @@ class ReplicaObserver:
         pass
 
     def on_round_entered(self, replica: int, round_number: int, now: float) -> None:
+        pass
+
+    def on_state_reset(self, replica: int, now: float) -> None:
         pass
 
     def on_timeout(self, replica: int, view: int, round_number: int, now: float) -> None:
@@ -134,10 +139,14 @@ class Replica(Process):
         self.fallback_mode = False
         self.fallbacks_entered = 0
 
+        self._deferred_share_verify = config.deferred_share_verify
+
         # Vote aggregation (as the next round's leader), keyed
-        # ("vote", block_id, round, view).
+        # ("vote", block_id, round, view); incremental trackers give O(1)
+        # quorum checks instead of per-arrival bucket re-scans.
         self._vote_shares: dict[
-            tuple[str, str, int, int], dict[int, ThresholdSignatureShare]
+            tuple[str, str, int, int],
+            ShareQuorumTracker[ThresholdSignatureShare],
         ] = {}
         self._formed_qcs: set[tuple[str, str, int, int]] = set()
 
@@ -164,6 +173,30 @@ class Replica(Process):
             self.fallback = FallbackEngine(self)
         else:
             self.pacemaker = PacemakerEngine(self)
+
+        # Exact-type message dispatch (hot path at large n; subclassed
+        # message types fall through to the isinstance chain).  Bound
+        # methods resolve through the MRO, so subclass handler overrides
+        # are honored; engine routing reads self.fallback/self.pacemaker
+        # at call time because fault harnesses swap engines after init.
+        self._msg_dispatch: dict[type, Callable[..., None]] = {
+            ClientRequest: self.handle_client_request,
+            Proposal: self.handle_proposal,
+            Vote: self.handle_vote,
+            BlockRequest: self.handle_block_request,
+            BlockResponse: self.handle_block_response,
+            ChainRequest: self.handle_chain_request,
+            ChainResponse: self.handle_chain_response,
+            PacemakerTimeout: self._dispatch_pacemaker,
+            PacemakerTCMessage: self._dispatch_pacemaker,
+            FallbackTimeout: self._dispatch_fallback,
+            FallbackTCMessage: self._dispatch_fallback,
+            FallbackProposal: self._dispatch_fallback,
+            FallbackVote: self._dispatch_fallback,
+            FallbackQCMessage: self._dispatch_fallback,
+            CoinShareMessage: self._dispatch_fallback,
+            CoinQCMessage: self._dispatch_fallback,
+        }
 
     # ------------------------------------------------------------------
     # Convenience accessors
@@ -205,7 +238,19 @@ class Replica(Process):
         elif self.pacemaker is not None:
             self.pacemaker.on_local_timeout()
 
+    def _dispatch_pacemaker(self, sender: int, message: object) -> None:
+        if self.pacemaker is not None:
+            self.pacemaker.handle(sender, message)
+
+    def _dispatch_fallback(self, sender: int, message: object) -> None:
+        if self.fallback is not None:
+            self.fallback.handle(sender, message)
+
     def on_message(self, sender: int, message: object) -> None:
+        handler = self._msg_dispatch.get(type(message))
+        if handler is not None:
+            handler(sender, message)
+            return
         if isinstance(message, ClientRequest):
             self.handle_client_request(sender, message)
         elif isinstance(message, Proposal):
@@ -300,19 +345,32 @@ class Replica(Process):
         if share.signer != sender:
             return
         payload = ("vote", message.block_id, message.round, message.view)
-        if not self.crypto.verify_share(share, payload):
+        if not self._deferred_share_verify and not self.crypto.verify_share(
+            share, payload
+        ):
             return
-        key = ("vote", message.block_id, message.round, message.view)
+        key = payload
         if key in self._formed_qcs:
             return
-        bucket = self._vote_shares.setdefault(key, {})
-        bucket[sender] = share
-        if len(bucket) >= self.quorum:
+        tracker = self._vote_shares.get(key)
+        if tracker is None:
+            tracker = ShareQuorumTracker(self.config.n, self.quorum)
+            self._vote_shares[key] = tracker
+        tracker.add(sender, share)
+        if tracker.reached:
+            try:
+                signature = self.crypto.combine(tracker.shares(), payload)
+            except SignatureError:
+                # Deferred verification: evict invalid shares, keep waiting.
+                tracker.evict_invalid(
+                    lambda s: self.crypto.verify_share(s, payload)
+                )
+                return
             qc = QC(
                 block_id=message.block_id,
                 round=message.round,
                 view=message.view,
-                signature=self.crypto.combine(bucket.values(), payload),
+                signature=signature,
             )
             self._formed_qcs.add(key)
             del self._vote_shares[key]

@@ -14,7 +14,7 @@ The revealed value combined from shares forms the paper's *coin-QC*.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Callable, Iterable, Optional
 
 from repro.crypto.hashing import Digest, hash_fields
 from repro.crypto.keys import KeyPair, Registry
@@ -89,18 +89,28 @@ class CommonCoin:
     # ------------------------------------------------------------------
     # Reveal
     # ------------------------------------------------------------------
-    def reveal(self, shares: Iterable[CoinShare], view: int) -> int:
+    def reveal(
+        self,
+        shares: Iterable[CoinShare],
+        view: int,
+        share_verifier: Optional[Callable[[CoinShare], bool]] = None,
+    ) -> int:
         """Combine f+1 distinct valid shares for ``view`` into the leader id.
+
+        ``share_verifier`` replaces the per-share :meth:`verify_share` call
+        (pooled verification; see :mod:`repro.crypto.sharepool`).
 
         Raises :class:`SignatureError` if the shares are insufficient.
         """
+        if share_verifier is None:
+            share_verifier = self.verify_share
         signers: set[int] = set()
         for share in shares:
             if share.view != view:
                 raise SignatureError(
                     f"coin share for view {share.view} used for view {view}"
                 )
-            if not self.verify_share(share):
+            if not share_verifier(share):
                 raise SignatureError(f"invalid coin share by {share.signer}")
             signers.add(share.signer)
         if len(signers) < self.threshold:

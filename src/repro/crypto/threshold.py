@@ -17,7 +17,7 @@ constant (96 bytes, BLS12-381-like) regardless.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Callable, Iterable, Optional
 
 from repro.crypto.hashing import Digest, hash_fields
 from repro.crypto.keys import KeyPair, Registry
@@ -106,12 +106,25 @@ class ThresholdScheme:
     # Combining / verifying
     # ------------------------------------------------------------------
     def combine(
-        self, shares: Iterable[ThresholdSignatureShare], payload: object
+        self,
+        shares: Iterable[ThresholdSignatureShare],
+        payload: object,
+        share_verifier: Optional[
+            Callable[[ThresholdSignatureShare, object], bool]
+        ] = None,
     ) -> ThresholdSignature:
-        """Combine ≥ threshold distinct valid shares into one signature."""
+        """Combine ≥ threshold distinct valid shares into one signature.
+
+        ``share_verifier`` replaces the per-share :meth:`verify_share` call
+        — callers with a :class:`~repro.crypto.sharepool.VerifiedSharePool`
+        pass a pooled verifier so re-verification at combine time costs a
+        dictionary lookup instead of a hash per share.
+        """
+        if share_verifier is None:
+            share_verifier = self.verify_share
         valid_signers: set[int] = set()
         for share in shares:
-            if not self.verify_share(share, payload):
+            if not share_verifier(share, payload):
                 raise SignatureError(
                     f"share by replica {share.signer} is invalid for {payload!r}"
                 )

@@ -42,10 +42,10 @@ class _EquivocatingFallbackEngine(FallbackEngine):
         replica.store.add(block_a)
         replica.store.add(block_b)
         # Track one of them as "ours" so votes for it still aggregate.
-        self._own_blocks[(view, 1)] = block_a
-        self._max_proposed_height[view] = max(
-            self._max_proposed_height.get(view, 0), 1
-        )
+        state = self._view_state(view)
+        state.own_blocks[1] = block_a
+        if state.max_proposed_height < 1:
+            state.max_proposed_height = 1
         for receiver in replica.network.process_ids():
             chosen = block_a if receiver % 2 == 0 else block_b
             replica.network.send(

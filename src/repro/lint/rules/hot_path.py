@@ -6,6 +6,11 @@ hashed, compared and shipped constantly.  A stray ``__dict__`` per event
 costs measurable events/sec (PR 2's slim-engine speedup depends on it),
 and a mutable value object invites aliasing bugs the protocol proofs never
 contemplated.
+
+``core/quorum.py`` holds the incremental quorum trackers and per-view
+fallback state: one tracker per in-flight (round, view, block) at every
+replica, so at n=64+ they are allocated and probed on every message — the
+same discipline applies.
 """
 
 from __future__ import annotations
@@ -21,7 +26,7 @@ from repro.lint.astutil import (
 from repro.lint.engine import Finding, ParsedModule, Rule, register_rule
 
 #: Modules where every class must be slotted or a frozen dataclass.
-HOT_PATH_MODULES = ("repro.sim.events",)
+HOT_PATH_MODULES = ("repro.sim.events", "repro.core.quorum")
 VALUE_OBJECT_PREFIX = "repro.types"
 
 #: Base-class names that exempt a class (interfaces and exceptions carry
@@ -37,8 +42,9 @@ class HotPathRule(Rule):
 
     id = "hot-path"
     description = (
-        "classes in sim/events.py define __slots__; dataclasses under "
-        "types/ are frozen (plain classes there need __slots__)"
+        "classes in sim/events.py and core/quorum.py define __slots__; "
+        "dataclasses under types/ are frozen (plain classes there need "
+        "__slots__)"
     )
     rationale = (
         "The event queue allocates per simulated event and types/ objects "

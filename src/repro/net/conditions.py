@@ -99,7 +99,14 @@ class LeaderTargetingAdversary(DelayModel):
         self.fast = fast or SynchronousDelay()
 
     def delay(self, sender, receiver, message, now, rng) -> float:
-        targeted = set(self.targets())
+        targets = self.targets()
+        # The cluster oracle returns a (cached) set; only materialize a
+        # fresh one for exotic target callables that yield an iterator.
+        targeted = (
+            targets
+            if isinstance(targets, (set, frozenset))
+            else set(targets)
+        )
         if sender in targeted or receiver in targeted:
             # Jitter keeps the event order from degenerating.
             return self.attack_delay + rng.uniform(0.0, 1.0)

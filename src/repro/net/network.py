@@ -21,6 +21,7 @@ counted as network traffic, and never lossy.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Optional
 
 from repro.net.conditions import DelayModel, SynchronousDelay
@@ -112,7 +113,7 @@ class Network:
         if receiver == sender:
             self.scheduler.call_after(
                 self.self_delivery_delay,
-                lambda: target.deliver(sender, message),
+                partial(target.deliver, sender, message),
                 label=f"self:{sender}",
             )
             return
@@ -163,9 +164,11 @@ class Network:
     def _schedule_delivery(
         self, sender: int, receiver: int, message: object, delay: float, label: str
     ) -> None:
+        # partial() beats a closure here: no cell allocation per delivery,
+        # and the scheduler calls it with zero arguments either way.
         self.scheduler.call_after(
             delay,
-            lambda: self._deliver(sender, receiver, message),
+            partial(self._deliver, sender, receiver, message),
             label=label,
         )
 

@@ -107,6 +107,14 @@ class Cluster:
         #: (time, description) of every chaos event applied during the run.
         self.fault_log: list[tuple[float, str]] = []
         self._started = False
+        # Leader-oracle caches: the targeting adversary queries the oracle
+        # once per message, so at n=64+ an uncached oracle is the single
+        # hottest call in the simulator.  Both caches are invalidated by the
+        # metrics round-entry listener (advance_round is the only writer of
+        # r_cur after construction; crash recovery fires on_state_reset).
+        self._honest_cache: Optional[list[Replica]] = None
+        self._leaders_cache: Optional[set[int]] = None
+        metrics.round_entry_listeners.append(self._on_round_entry)
         if fault_schedule is not None:
             fault_schedule.install(self)
 
@@ -117,21 +125,33 @@ class Cluster:
         return self.replicas[replica_id]
 
     def honest_replicas(self) -> list[Replica]:
-        return [
-            process
-            for process in self.replicas
-            if isinstance(process, Replica) and process.process_id in self.honest_ids
-        ]
+        cached = self._honest_cache
+        if cached is None:
+            honest_ids = set(self.honest_ids)
+            cached = [
+                process
+                for process in self.replicas
+                if isinstance(process, Replica) and process.process_id in honest_ids
+            ]
+            self._honest_cache = cached
+        return cached
 
     def current_leaders(self) -> set[int]:
         """Leaders of the rounds honest replicas are currently in.
 
         This is the oracle the leader-targeting adversary uses: an
-        omniscient scheduler always knows whom to delay.
+        omniscient scheduler always knows whom to delay.  The result is
+        cached between round entries; callers must not mutate it.
         """
-        return {
-            self.schedule.leader(replica.r_cur) for replica in self.honest_replicas()
-        }
+        leaders = self._leaders_cache
+        if leaders is None:
+            leader = self.schedule.leader
+            leaders = {leader(replica.r_cur) for replica in self.honest_replicas()}
+            self._leaders_cache = leaders
+        return leaders
+
+    def _on_round_entry(self, replica: int, round_number: int, now: float) -> None:
+        self._leaders_cache = None
 
     def submit(self, transaction: Transaction) -> None:
         """Inject one client transaction into every mempool."""
@@ -248,6 +268,7 @@ class ClusterBuilder:
         self._client_count = 0
         self._client_kwargs: dict = {}
         self._cert_cache_enabled = True
+        self._share_pool_enabled = True
 
     # ------------------------------------------------------------------
     # Configuration
@@ -353,6 +374,15 @@ class ClusterBuilder:
         self._cert_cache_enabled = enabled
         return self
 
+    def with_share_pool(self, enabled: bool) -> "ClusterBuilder":
+        """Toggle the cluster-wide verified-share pool.
+
+        Disabling it makes every replica re-verify every threshold/coin
+        share on arrival — the bypass mode the property tests compare
+        against."""
+        self._share_pool_enabled = enabled
+        return self
+
     def with_clients(self, count: int, **client_kwargs) -> "ClusterBuilder":
         """Attach closed-loop BFT clients (ids n, n+1, ...).
 
@@ -391,12 +421,14 @@ class ClusterBuilder:
             config,
             coin_seed=self.seed,
             cert_cache_enabled=self._cert_cache_enabled,
+            share_pool_enabled=self._share_pool_enabled,
         )
         byzantine_ids = sorted(self._byzantine)
         metrics = MetricsCollector(
             honest_ids=[i for i in range(config.n) if i not in self._byzantine]
         )
         metrics.attach_cert_cache(setup.cert_cache)
+        metrics.attach_share_pool(setup.share_pool)
         network.add_send_hook(metrics.on_send)
         if isinstance(network, ReliableNetwork):
             network.add_channel_hook(metrics.on_channel_event)

@@ -88,9 +88,14 @@ class MetricsCollector(ReplicaObserver):
         self._committed_positions: dict[int, int] = {}
         #: Callables invoked once per distinct committed transaction.
         self.commit_listeners: list = []
+        #: Callables invoked on every round entry, ``(replica, round, now)``.
+        #: Used by the cluster's leader-oracle cache for invalidation.
+        self.round_entry_listeners: list = []
         self._notified_txs: set[str] = set()
         #: Cluster-wide verified-certificate cache, if one is in play.
         self._cert_cache = None
+        #: Cluster-wide verified-share pool, if one is in play.
+        self._share_pool = None
         #: Live-mode TCP transports whose counters this collector surfaces.
         self._transports: list = []
 
@@ -98,6 +103,11 @@ class MetricsCollector(ReplicaObserver):
         """Surface a :class:`~repro.crypto.certcache.VerifiedCertCache`'s
         hit/miss counters through this collector."""
         self._cert_cache = cache
+
+    def attach_share_pool(self, pool) -> None:
+        """Surface a :class:`~repro.crypto.sharepool.VerifiedSharePool`'s
+        hit/miss counters through this collector."""
+        self._share_pool = pool
 
     def attach_transport(self, transport) -> None:
         """Surface a :class:`~repro.net.tcp.TcpTransport`'s error-containment
@@ -186,6 +196,16 @@ class MetricsCollector(ReplicaObserver):
 
     def on_round_entered(self, replica: int, round_number: int, now: float) -> None:
         self.round_entries.append((replica, round_number, now))
+        if self.round_entry_listeners:
+            for listener in self.round_entry_listeners:
+                listener(replica, round_number, now)
+
+    def on_state_reset(self, replica: int, now: float) -> None:
+        """A replica rebuilt volatile state (crash recovery): its ``r_cur``
+        may have moved without a round entry, so flush round caches."""
+        if self.round_entry_listeners:
+            for listener in self.round_entry_listeners:
+                listener(replica, 0, now)
 
     def on_timeout(self, replica: int, view: int, round_number: int, now: float) -> None:
         self.timeouts.append((replica, view, round_number, now))
@@ -272,6 +292,12 @@ class MetricsCollector(ReplicaObserver):
             return {"hits": 0, "misses": 0, "entries": 0, "invalidations": 0}
         return self._cert_cache.counters()
 
+    def share_pool_counters(self) -> dict[str, int]:
+        """Verified-share pool counters (all zero without a pool)."""
+        if self._share_pool is None:
+            return {"hits": 0, "misses": 0, "entries": 0, "invalidations": 0}
+        return self._share_pool.counters()
+
     def transport_counters(self) -> dict:
         """Live transport summary: cluster totals plus per-peer breakdowns.
 
@@ -314,6 +340,11 @@ class MetricsCollector(ReplicaObserver):
         lines.append(
             f"cert cache: {cache['hits']} hits, {cache['misses']} misses, "
             f"{cache['invalidations']} invalidations"
+        )
+        pool = self.share_pool_counters()
+        lines.append(
+            f"share pool: {pool['hits']} hits, {pool['misses']} misses, "
+            f"{pool['invalidations']} invalidations"
         )
         if self._transports:
             totals = self.transport_counters()["totals"]

@@ -75,7 +75,7 @@ class DurableReplica(Replica):
             snapshot.fallback_r_vote = dict(votes.r_vote)
             snapshot.fallback_h_vote = dict(votes.h_vote)
         if self.fallback is not None:
-            snapshot.fallback_proposed = dict(self.fallback._max_proposed_height)
+            snapshot.fallback_proposed = self.fallback.proposed_heights()
         self.journal.write(snapshot)
 
     def _restore(self, snapshot: SafetySnapshot) -> None:
@@ -92,10 +92,10 @@ class DurableReplica(Replica):
             self.safety._fallback_votes = state
         if self.fallback is not None:
             self.fallback.entered_view = snapshot.entered_view
-            self.fallback._max_proposed_height = dict(snapshot.fallback_proposed)
+            self.fallback.restore_proposed_heights(snapshot.fallback_proposed)
             # Never re-propose fallback blocks for already-covered heights:
-            # _max_proposed_height gates _propose_next_height, and entering
-            # the same view again is blocked by entered_view.
+            # the proposed-height watermark gates _propose_next_height, and
+            # entering the same view again is blocked by entered_view.
 
 
 class RecoveringReplica(DurableReplica):
@@ -177,6 +177,9 @@ class RecoveringReplica(DurableReplica):
             self._restore(snapshot)
         self.crashed = False
         self.recovered = True
+        # Recovery resets r_cur without a round-entry event; tell observers
+        # so any round-derived caches (e.g. the leader oracle) are flushed.
+        self.observer.on_state_reset(self.process_id, self.now)
         # Resume participation: arm the round timer unless mid-fallback.
         if not self.fallback_mode:
             self._arm_round_timer()
