@@ -12,6 +12,7 @@ from repro.core.config import ProtocolConfig
 from repro.net.bandwidth import BandwidthDelay
 from repro.net.conditions import SynchronousDelay
 from repro.runtime.cluster import ClusterBuilder
+from repro.traffic.slo import percentile
 
 RUN_FOR = 300.0
 BATCH_SIZES = [1, 10, 50]
@@ -40,8 +41,9 @@ def test_batch_size_sweep(benchmark, report, batch_size):
         event.batch_size for event in metrics.commits_at(0)
     )
     tx_throughput = committed_txs / RUN_FOR
-    latencies = sorted(metrics.commit_latencies())
-    p50 = latencies[len(latencies) // 2] if latencies else float("nan")
+    p50 = percentile(metrics.commit_latencies(), 50)
+    if p50 is None:
+        p50 = float("nan")
     table = report.table(
         "batching",
         headers=["batch size", "tx/s", "blocks", "p50 tx latency (s)", "bytes/tx"],

@@ -11,6 +11,7 @@ import pytest
 from repro.analysis.stats import mean_ci
 from repro.experiments.scenarios import leader_attack_factory
 from repro.runtime.cluster import ClusterBuilder
+from repro.traffic.slo import percentile
 
 
 def run_with_clients(attack: bool, seed: int = 27, confirmations: int = 40):
@@ -34,14 +35,14 @@ def test_client_confirmation_latency(benchmark, report, attack):
     cluster = benchmark.pedantic(
         lambda: run_with_clients(attack), rounds=1, iterations=1
     )
-    latencies = sorted(
+    latencies = [
         latency
         for client in cluster.clients
         for latency in client.confirmed_latencies()
-    )
+    ]
     assert len(latencies) >= 40
-    p50 = latencies[len(latencies) // 2]
-    p95 = latencies[int(len(latencies) * 0.95)]
+    p50 = percentile(latencies, 50)
+    p95 = percentile(latencies, 95)
     estimate = mean_ci(latencies)
     table = report.table(
         "client",

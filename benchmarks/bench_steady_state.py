@@ -6,6 +6,7 @@ block commits two rounds after its own), and end-to-end transaction latency.
 """
 
 from repro.experiments.scenarios import build_cluster
+from repro.traffic.slo import percentile
 
 N = 7
 
@@ -79,9 +80,9 @@ def test_commit_latency_three_rounds(benchmark, report):
 
 def test_end_to_end_latency(benchmark, report):
     cluster, result = benchmark.pedantic(run_steady, rounds=1, iterations=1)
-    latencies = sorted(cluster.metrics.commit_latencies())
-    p50 = latencies[len(latencies) // 2]
-    p99 = latencies[int(len(latencies) * 0.99)]
+    latencies = cluster.metrics.commit_latencies()
+    p50 = percentile(latencies, 50)
+    p99 = percentile(latencies, 99)
     table = report.table(
         "steady",
         headers=["metric", "value", "paper expectation"],

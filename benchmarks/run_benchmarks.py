@@ -219,6 +219,13 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="run the multi-process SIGKILL-chaos benchmark into "
              "BENCH_live.json instead of the simulator scenarios",
     )
+    parser.add_argument(
+        "--traffic",
+        action="store_true",
+        help="run the saturation-knee search into BENCH_traffic.json "
+             "(see benchmarks/bench_saturation.py) instead of the "
+             "simulator scenarios",
+    )
     parser.add_argument("--live-n", type=int, default=4)
     parser.add_argument("--live-kills", type=int, default=2)
     parser.add_argument("--live-commits", type=int, default=20)
@@ -249,6 +256,14 @@ def main(argv: Optional[list[str]] = None) -> int:
 
     if args.live:
         return run_live(args, timestamp)
+
+    if args.traffic:
+        from bench_saturation import main as traffic_main
+
+        forwarded = ["--seed", str(args.seed)]
+        if args.label:
+            forwarded += ["--label", args.label]
+        return traffic_main(forwarded)
 
     if args.import_results is not None:
         entry = {

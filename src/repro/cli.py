@@ -14,6 +14,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.analysis.complexity import classify_complexity, fit_loglog_slope
@@ -411,6 +412,62 @@ def cmd_scaling(args) -> int:
     return 0
 
 
+def cmd_saturate(args) -> int:
+    """Find max sustainable throughput (the knee) per scenario."""
+    from repro.traffic.saturation import (
+        compare_batching,
+        default_scenarios,
+        find_knee,
+    )
+
+    scenarios = default_scenarios()
+    if args.scenario != "all":
+        scenarios = {args.scenario: scenarios[args.scenario]}
+    report = {}
+    rows = []
+    for name, scenario in scenarios.items():
+        result = find_knee(
+            scenario,
+            duration=args.duration,
+            drain=args.drain,
+            seed=args.seed,
+            max_rate=args.max_rate,
+        )
+        report[name] = result.to_json()
+        knee = result.knee
+        rows.append([
+            name,
+            f"{result.knee_rate:g}",
+            f"{knee.goodput:.1f}" if knee else "-",
+            f"{knee.latency.p50:.2f}" if knee and knee.latency.p50 else "-",
+            f"{knee.latency.p99:.2f}" if knee and knee.latency.p99 else "-",
+            len(result.curve),
+        ])
+    print(render_table(
+        ["scenario", "knee (tx/s)", "goodput", "p50 (s)", "p99 (s)", "probes"],
+        rows,
+        title="Saturation search (goodput >= 95% of offered)",
+    ))
+    if args.compare and "steady-n4" in report:
+        comparison = compare_batching(
+            default_scenarios()["steady-n4"],
+            report["steady-n4"]["max_sustainable_rate"],
+            duration=args.duration,
+            drain=args.drain,
+            seed=args.seed,
+        )
+        report["batching_comparison"] = comparison
+        verdict = "matches" if comparison["adaptive_matches_best_fixed"] else "TRAILS"
+        print(
+            f"adaptive batching {verdict} best fixed size "
+            f"(batch={comparison['best_fixed_size']}) at the knee"
+        )
+    if args.json:
+        args.json.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -515,6 +572,29 @@ def build_parser() -> argparse.ArgumentParser:
     scaling.add_argument("--seed", type=int, default=2)
     scaling.add_argument("--until", type=float, default=50_000.0)
 
+    saturate = sub.add_parser(
+        "saturate",
+        help="binary-search max sustainable throughput per scenario",
+    )
+    from repro.traffic.saturation import default_scenarios as _traffic_scenarios
+
+    saturate.add_argument(
+        "--scenario",
+        default="all",
+        choices=["all", *sorted(_traffic_scenarios())],
+    )
+    saturate.add_argument("--seed", type=int, default=1)
+    saturate.add_argument("--duration", type=float, default=120.0,
+                          help="offered-load window per probe (sim seconds)")
+    saturate.add_argument("--drain", type=float, default=60.0,
+                          help="post-window drain time per probe (sim seconds)")
+    saturate.add_argument("--max-rate", type=float, default=1024.0)
+    saturate.add_argument("--compare", action="store_true",
+                          help="also run adaptive-vs-fixed batching at the "
+                               "steady-n4 knee")
+    saturate.add_argument("--json", type=Path, default=None,
+                          help="write the full report to this file")
+
     return parser
 
 
@@ -532,6 +612,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_table1(args)
     if args.command == "scaling":
         return cmd_scaling(args)
+    if args.command == "saturate":
+        return cmd_saturate(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
 
 

@@ -38,6 +38,7 @@ from typing import Optional
 from repro.client.client import ClientReply, ClientRequest
 from repro.net.tcp import TcpTransport
 from repro.runtime.spec import ClusterSpec
+from repro.traffic.slo import percentile  # noqa: F401  (canonical home; re-exported)
 from repro.types.transactions import Transaction
 from repro.wire.codec import encode_message
 
@@ -48,20 +49,6 @@ SWARM_ID_BASE = 1000
 
 #: How often the retransmit scan runs (seconds).
 RETRANSMIT_TICK = 0.25
-
-
-def percentile(values: list[float], p: float) -> Optional[float]:
-    """Linear-interpolated percentile (p in [0, 100]); None when empty."""
-    if not values:
-        return None
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return ordered[0]
-    rank = (len(ordered) - 1) * (p / 100.0)
-    low = int(rank)
-    high = min(low + 1, len(ordered) - 1)
-    fraction = rank - low
-    return ordered[low] + (ordered[high] - ordered[low]) * fraction
 
 
 @dataclass

@@ -61,6 +61,13 @@ class ProtocolConfig:
             paper's validated BFT SMR): honest replicas propose only valid
             transactions and refuse to vote for blocks containing invalid
             ones, so only externally valid transactions ever commit.
+        adaptive_batching: consult an
+            :class:`repro.traffic.batching.AdaptiveBatchController` before
+            each proposal instead of using the fixed ``batch_size``.  Off
+            by default: the flag-off path constructs no traffic objects and
+            keeps recorded benchmark fingerprints byte-identical.
+        adaptive_min_batch / adaptive_max_batch: the controller's batch-size
+            bounds (only read when ``adaptive_batching`` is on).
     """
 
     n: int = 4
@@ -73,6 +80,9 @@ class ProtocolConfig:
     sync_missing_blocks: bool = True
     deferred_share_verify: bool = False
     validity_predicate: Optional[ValidityPredicate] = None
+    adaptive_batching: bool = False
+    adaptive_min_batch: int = 1
+    adaptive_max_batch: int = 160
 
     def __post_init__(self) -> None:
         if self.n < 4 or (self.n - 1) % 3 != 0:
@@ -85,6 +95,10 @@ class ProtocolConfig:
             raise ValueError("timeout_multiplier must be >= 1.0")
         if self.leader_rotation_interval < 1:
             raise ValueError("leader_rotation_interval must be >= 1")
+        if self.adaptive_min_batch < 1:
+            raise ValueError("adaptive_min_batch must be >= 1")
+        if self.adaptive_max_batch < self.adaptive_min_batch:
+            raise ValueError("adaptive_max_batch must be >= adaptive_min_batch")
 
     # ------------------------------------------------------------------
     # Derived quantities

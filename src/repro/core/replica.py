@@ -128,6 +128,22 @@ class Replica(Process):
         self.observer = observer or ReplicaObserver()
         self.schedule = LeaderSchedule(config.n, config.leader_rotation_interval)
         self.mempool = mempool if mempool is not None else Mempool(config.batch_size)
+        # Adaptive proposal batching (opt-in): with the flag off this stays
+        # None and the flag-off hot path is a single identity check — no
+        # traffic objects exist, so recorded fingerprints are unaffected.
+        self._batch_controller = None
+        if config.adaptive_batching:
+            from repro.traffic.batching import AdaptiveBatchController
+            from repro.traffic.envelope import TrafficEnvelope
+
+            envelope = TrafficEnvelope()
+            self.mempool.attach_envelope(envelope, lambda: self.now)
+            self._batch_controller = AdaptiveBatchController(
+                min_batch=config.adaptive_min_batch,
+                max_batch=config.adaptive_max_batch,
+                start=config.batch_size,
+                envelope=envelope.cluster,
+            )
         self.store = BlockStore()
         self.ledger = Ledger(self.store, state_machine or NullStateMachine())
         self.safety = SafetyRules(config)
@@ -299,6 +315,10 @@ class Replica(Process):
         if key in self._proposed:
             return
         self._proposed.add(key)
+        if self._batch_controller is not None:
+            self.mempool.batch_size = self._batch_controller.tune(
+                len(self.mempool), self.now
+            )
         block = Block(
             qc=self.qc_high,
             round=self.r_cur,

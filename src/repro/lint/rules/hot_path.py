@@ -11,6 +11,11 @@ contemplated.
 fallback state: one tracker per in-flight (round, view, block) at every
 replica, so at n=64+ they are allocated and probed on every message — the
 same discipline applies.
+
+``traffic/`` sits on the request path: envelopes see every arrival,
+admission control fronts every submission, and the batch controller runs
+per proposal — so its controller/state classes carry the same __slots__
+discipline.
 """
 
 from __future__ import annotations
@@ -27,6 +32,8 @@ from repro.lint.engine import Finding, ParsedModule, Rule, register_rule
 
 #: Modules where every class must be slotted or a frozen dataclass.
 HOT_PATH_MODULES = ("repro.sim.events", "repro.core.quorum")
+#: Module prefixes under the same discipline (every submodule).
+HOT_PATH_PREFIXES = ("repro.types", "repro.traffic")
 VALUE_OBJECT_PREFIX = "repro.types"
 
 #: Base-class names that exempt a class (interfaces and exceptions carry
@@ -42,23 +49,26 @@ class HotPathRule(Rule):
 
     id = "hot-path"
     description = (
-        "classes in sim/events.py and core/quorum.py define __slots__; "
-        "dataclasses under types/ are frozen (plain classes there need "
-        "__slots__)"
+        "classes in sim/events.py, core/quorum.py and repro.traffic define "
+        "__slots__; dataclasses under types/ and traffic/ are frozen "
+        "(plain classes there need __slots__)"
     )
     rationale = (
-        "The event queue allocates per simulated event and types/ objects "
-        "are the protocol's value vocabulary: __slots__ keeps the event "
-        "hot path allocation-light, and frozen dataclasses make message/"
-        "certificate immutability structural rather than conventional."
+        "The event queue allocates per simulated event, types/ objects "
+        "are the protocol's value vocabulary, and traffic/ runs on the "
+        "request path: __slots__ keeps those hot paths allocation-light, "
+        "and frozen dataclasses make message/certificate immutability "
+        "structural rather than conventional."
     )
 
     def applies_to(self, module: ParsedModule) -> bool:
         if module.is_test:
             return False
-        return module.module in HOT_PATH_MODULES or (
-            module.module == VALUE_OBJECT_PREFIX
-            or module.module.startswith(VALUE_OBJECT_PREFIX + ".")
+        if module.module in HOT_PATH_MODULES:
+            return True
+        return any(
+            module.module == prefix or module.module.startswith(prefix + ".")
+            for prefix in HOT_PATH_PREFIXES
         )
 
     def check(self, module: ParsedModule) -> Iterator[Finding]:

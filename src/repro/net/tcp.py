@@ -449,6 +449,13 @@ class TcpTransport:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+            except asyncio.CancelledError:
+                # Shutdown can also cancel us *here*, mid-finally; same
+                # rules as above — swallow our own close, propagate others.
+                if not self._closed:
+                    raise
+                if task is not None:
+                    task.uncancel()
 
     async def _handshake(self, reader: asyncio.StreamReader) -> Optional[int]:
         """Read and validate the HELLO frame; returns the peer id or None."""

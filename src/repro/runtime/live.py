@@ -350,6 +350,91 @@ class LiveCluster:
         )
 
     # ------------------------------------------------------------------
+    # Open-loop traffic (wall clock)
+    # ------------------------------------------------------------------
+    def run_open_loop(
+        self,
+        rate: float,
+        duration: float,
+        drain: float = 10.0,
+        mempool_capacity: Optional[int] = None,
+        loadgen_seed: int = 0,
+    ) -> dict:
+        """Drive the live cluster open-loop at ``rate`` offers/sec.
+
+        Poisson arrivals flow through a bounded-queue
+        :class:`~repro.traffic.admission.AdmissionController` for
+        ``duration`` wall-clock seconds, then admitted work gets ``drain``
+        seconds to commit.  Returns a JSON-ready record with admission
+        counters, goodput, and submit->commit SLO percentiles — the live
+        counterpart of :func:`repro.traffic.saturation.measure_rate`.
+        """
+        return asyncio.run(
+            self._run_open_loop(rate, duration, drain, mempool_capacity, loadgen_seed)
+        )
+
+    async def _run_open_loop(
+        self,
+        rate: float,
+        duration: float,
+        drain: float,
+        mempool_capacity: Optional[int],
+        loadgen_seed: int,
+    ) -> dict:
+        from repro.traffic.admission import AdmissionController
+        from repro.traffic.envelope import TrafficEnvelope
+        from repro.traffic.loadgen import OpenLoopGenerator, PoissonArrivals
+        from repro.traffic.slo import RequestTracker, summarize
+
+        wall_start = time.perf_counter()
+        await self._build()
+        assert self.metrics is not None and self.scheduler is not None
+        scheduler = self.scheduler
+        mempools = [replica.mempool for replica in self.replicas]
+        if mempool_capacity is not None:
+            for mempool in mempools:
+                mempool.capacity = mempool_capacity
+        envelope = TrafficEnvelope()
+        tracker = RequestTracker()
+        admission = AdmissionController(mempools, envelope=envelope, tracker=tracker)
+        self.metrics.attach_request_tracker(tracker)
+        self.metrics.attach_admission(admission)
+        generator = OpenLoopGenerator(
+            PoissonArrivals(rate, seed=loadgen_seed), admission.offer
+        )
+        loop = asyncio.get_running_loop()
+        try:
+            for replica in self.replicas:
+                replica.on_start()
+            await generator.run_wall_clock(duration, lambda: scheduler.now)
+            deadline = loop.time() + drain
+            while (
+                loop.time() < deadline
+                and tracker.committed_count() < admission.admitted
+            ):
+                await asyncio.sleep(0.05)
+        finally:
+            for replica in self.replicas:
+                replica.cancel_all_timers()
+            for transport in self.transports:
+                await transport.close()
+        committed = tracker.committed_count()
+        return {
+            "offered_rate": rate,
+            "duration": duration,
+            **admission.counters(),
+            "committed": committed,
+            "goodput": committed / duration,
+            "goodput_ratio": committed / max(1, admission.offered),
+            "latency": summarize(tracker.commit_latencies()).to_json(),
+            "slo": tracker.summary_json(),
+            "envelope": envelope.cluster.snapshot(),
+            "fallbacks": self.metrics.fallback_count(),
+            "ledgers_consistent": self.ledger_prefixes_consistent(),
+            "wall_seconds": time.perf_counter() - wall_start,
+        }
+
+    # ------------------------------------------------------------------
     # Assembly
     # ------------------------------------------------------------------
     async def _build(self) -> None:

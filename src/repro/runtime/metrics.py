@@ -98,6 +98,11 @@ class MetricsCollector(ReplicaObserver):
         self._share_pool = None
         #: Live-mode TCP transports whose counters this collector surfaces.
         self._transports: list = []
+        #: Per-request lifecycle tracker (submit/propose/commit/confirm),
+        #: if a traffic pipeline attached one.
+        self._request_tracker = None
+        #: Admission controller whose shed counters this collector surfaces.
+        self._admission = None
 
     def attach_cert_cache(self, cache) -> None:
         """Surface a :class:`~repro.crypto.certcache.VerifiedCertCache`'s
@@ -113,6 +118,17 @@ class MetricsCollector(ReplicaObserver):
         """Surface a :class:`~repro.net.tcp.TcpTransport`'s error-containment
         and per-peer reconnect/drop counters through this collector."""
         self._transports.append(transport)
+
+    def attach_request_tracker(self, tracker) -> None:
+        """Feed per-request propose/commit timestamps into a
+        :class:`~repro.traffic.slo.RequestTracker` (first honest occurrence
+        of each stage wins; the admission path supplies submit times)."""
+        self._request_tracker = tracker
+
+    def attach_admission(self, admission) -> None:
+        """Surface an :class:`~repro.traffic.admission.AdmissionController`'s
+        offered/admitted/rejected counters through this collector."""
+        self._admission = admission
 
     # ------------------------------------------------------------------
     # Network hooks
@@ -186,6 +202,9 @@ class MetricsCollector(ReplicaObserver):
         if replica in self.honest_ids:
             previous = self._committed_positions.get(replica, -1)
             self._committed_positions[replica] = max(previous, record.position)
+            if self._request_tracker is not None:
+                for transaction in block.batch:
+                    self._request_tracker.note_commit(transaction.tx_id, now)
             if self.commit_listeners:
                 for transaction in block.batch:
                     if transaction.tx_id in self._notified_txs:
@@ -222,6 +241,9 @@ class MetricsCollector(ReplicaObserver):
 
     def on_proposal(self, replica: int, block, now: float) -> None:
         self.proposals += 1
+        if self._request_tracker is not None and replica in self.honest_ids:
+            for transaction in block.batch:
+                self._request_tracker.note_propose(transaction.tx_id, now)
 
     # ------------------------------------------------------------------
     # Derived statistics
@@ -297,6 +319,25 @@ class MetricsCollector(ReplicaObserver):
         if self._share_pool is None:
             return {"hits": 0, "misses": 0, "entries": 0, "invalidations": 0}
         return self._share_pool.counters()
+
+    def admission_counters(self) -> dict:
+        """Admission offered/admitted/rejected (all zero without one)."""
+        if self._admission is None:
+            return {
+                "offered": 0,
+                "admitted": 0,
+                "rejected": 0,
+                "reject_rate": 0.0,
+                "mempool_rejects": 0,
+                "rejected_by_source": {},
+            }
+        return self._admission.counters()
+
+    def request_slo(self) -> Optional[dict]:
+        """Per-stage latency summaries, when a request tracker is attached."""
+        if self._request_tracker is None:
+            return None
+        return self._request_tracker.summary_json()
 
     def transport_counters(self) -> dict:
         """Live transport summary: cluster totals plus per-peer breakdowns.

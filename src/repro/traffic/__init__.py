@@ -1,0 +1,48 @@
+"""Production traffic subsystem: envelopes, loadgen, batching, admission, SLOs.
+
+The serving-stack layer in front of the consensus core:
+
+- :mod:`repro.traffic.envelope` — multi-horizon arrival-rate envelopes;
+- :mod:`repro.traffic.loadgen` — seeded open-/closed-loop load generators;
+- :mod:`repro.traffic.batching` — the adaptive proposal-batch controller;
+- :mod:`repro.traffic.admission` — bounded-queue admission control;
+- :mod:`repro.traffic.slo` — percentile math and request lifecycle SLOs;
+- :mod:`repro.traffic.saturation` — max-sustainable-throughput search.
+"""
+
+from repro.traffic.admission import AdmissionController
+from repro.traffic.batching import AdaptiveBatchController
+from repro.traffic.envelope import ArrivalEnvelope, TrafficEnvelope
+from repro.traffic.loadgen import (
+    ArrivalSchedule,
+    BurstArrivals,
+    BurstyRampArrivals,
+    ClosedLoopGenerator,
+    OpenLoopGenerator,
+    PoissonArrivals,
+    UniformArrivals,
+)
+from repro.traffic.slo import (
+    LatencySummary,
+    RequestTracker,
+    percentile,
+    summarize,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdaptiveBatchController",
+    "ArrivalEnvelope",
+    "TrafficEnvelope",
+    "ArrivalSchedule",
+    "BurstArrivals",
+    "BurstyRampArrivals",
+    "ClosedLoopGenerator",
+    "OpenLoopGenerator",
+    "PoissonArrivals",
+    "UniformArrivals",
+    "LatencySummary",
+    "RequestTracker",
+    "percentile",
+    "summarize",
+]

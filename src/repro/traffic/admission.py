@@ -1,0 +1,110 @@
+"""Admission control: overload degrades by rejecting, not by growing.
+
+Without a bound, an overloaded cluster fails the slow way: mempools grow
+without limit, every batch drains an ever-staler backlog, and latency
+climbs until memory runs out.  Production serving stacks fail the other
+way — a bounded queue plus an explicit reject path — so overload shows up
+as a counted, attributable signal while the requests that *are* admitted
+still commit at sane latency.
+
+:class:`AdmissionController` fronts a set of (capacity-bounded) mempools:
+
+- :meth:`offer` submits one transaction to every mempool, but only when at
+  least one mempool is below its own capacity (``Mempool.submit`` enforces
+  the per-pool bound either way).  Rejections are counted cluster-wide and
+  per client source.
+- an optional :class:`~repro.traffic.envelope.TrafficEnvelope` observes
+  every offered transaction, so the arrival-rate figures cover rejected
+  traffic too (that is the point: the envelope must see the offered load,
+  not the admitted load).
+- an optional :class:`~repro.traffic.slo.RequestTracker` gets
+  ``note_submit`` for admitted transactions only; rejected requests never
+  enter the latency population.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.traffic.envelope import TrafficEnvelope
+
+if TYPE_CHECKING:
+    from repro.mempool.mempool import Mempool
+    from repro.traffic.slo import RequestTracker
+    from repro.types.transactions import Transaction
+
+
+class AdmissionController:
+    """Bounded-queue admission in front of a cluster's mempools."""
+
+    __slots__ = (
+        "mempools",
+        "envelope",
+        "tracker",
+        "offered",
+        "admitted",
+        "rejected",
+        "rejected_by_source",
+    )
+
+    def __init__(
+        self,
+        mempools: Sequence["Mempool"],
+        envelope: Optional[TrafficEnvelope] = None,
+        tracker: Optional["RequestTracker"] = None,
+    ) -> None:
+        if not mempools:
+            raise ValueError("admission needs at least one mempool")
+        self.mempools = list(mempools)
+        self.envelope = envelope
+        self.tracker = tracker
+        self.offered = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.rejected_by_source: dict[int, int] = {}
+
+    def offer(self, transaction: "Transaction", now: Optional[float] = None) -> bool:
+        """Submit to every mempool; False when the cluster sheds the request.
+
+        ``now`` defaults to the transaction's own ``submitted_at`` (the two
+        agree in simulation; live callers pass their wall clock).
+        """
+        at = now if now is not None else transaction.submitted_at
+        self.offered += 1
+        if self.envelope is not None:
+            self.envelope.observe(transaction.client, at)
+        accepted = False
+        for mempool in self.mempools:
+            if mempool.submit(transaction):
+                accepted = True
+        if accepted:
+            self.admitted += 1
+            if self.tracker is not None:
+                self.tracker.note_submit(transaction.tx_id, at)
+            return True
+        self.rejected += 1
+        source = transaction.client
+        self.rejected_by_source[source] = self.rejected_by_source.get(source, 0) + 1
+        return False
+
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        """Deepest mempool — the cluster's effective backlog."""
+        return max(len(mempool) for mempool in self.mempools)
+
+    def reject_rate(self) -> float:
+        """Fraction of offered requests shed so far."""
+        if self.offered == 0:
+            return 0.0
+        return self.rejected / self.offered
+
+    def counters(self) -> dict:
+        mempool_rejects = sum(mempool.rejected_count for mempool in self.mempools)
+        return {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "reject_rate": self.reject_rate(),
+            "mempool_rejects": mempool_rejects,
+            "rejected_by_source": dict(sorted(self.rejected_by_source.items())),
+        }

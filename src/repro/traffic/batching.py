@@ -1,0 +1,131 @@
+"""Adaptive proposal batching: a leader-side batch-size control loop.
+
+A fixed ``ProtocolConfig.batch_size`` is tuned for one operating point: too
+small and a loaded cluster burns rounds shipping slivers of the backlog;
+too large and light traffic pays worst-case block validation for near-empty
+batches.  :class:`AdaptiveBatchController` closes the loop the way serving
+systems tune replica counts: each time a leader is about to propose it
+calls :meth:`tune` with the current mempool depth, and the controller picks
+a batch size within ``[min_batch, max_batch]`` from two signals:
+
+- **backlog**: drain the observed mempool depth within ``drain_rounds``
+  proposals, and
+- **arrival envelope**: keep up with the offered rate (envelope rate x the
+  EWMA inter-proposal interval), so the size holds once the backlog is
+  gone instead of collapsing and re-growing.
+
+A hysteresis band suppresses oscillation: the current size only moves when
+the target leaves ``±hysteresis`` of it, and then only part of the way
+(geometric approach), so one bursty round cannot whipsaw block sizes.
+
+The controller is consulted *only* when ``ProtocolConfig.adaptive_batching``
+is on; the default path never constructs one, which keeps recorded
+benchmark fingerprints byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.traffic.envelope import ArrivalEnvelope
+
+#: EWMA weight for the inter-proposal interval estimate.
+_INTERVAL_ALPHA = 0.3
+
+
+class AdaptiveBatchController:
+    """Pick a proposal batch size from mempool depth + arrival envelope."""
+
+    __slots__ = (
+        "min_batch",
+        "max_batch",
+        "drain_rounds",
+        "hysteresis",
+        "envelope",
+        "current",
+        "tunes",
+        "adjustments",
+        "_last_tune_at",
+        "_interval_ewma",
+    )
+
+    def __init__(
+        self,
+        min_batch: int = 1,
+        max_batch: int = 160,
+        start: Optional[int] = None,
+        drain_rounds: int = 2,
+        hysteresis: float = 0.25,
+        envelope: Optional[ArrivalEnvelope] = None,
+    ) -> None:
+        if min_batch < 1:
+            raise ValueError("min_batch must be >= 1")
+        if max_batch < min_batch:
+            raise ValueError("max_batch must be >= min_batch")
+        if drain_rounds < 1:
+            raise ValueError("drain_rounds must be >= 1")
+        if not 0.0 <= hysteresis < 1.0:
+            raise ValueError("hysteresis must be in [0, 1)")
+        self.min_batch = min_batch
+        self.max_batch = max_batch
+        self.drain_rounds = drain_rounds
+        self.hysteresis = hysteresis
+        self.envelope = envelope
+        self.current = self._clamp(start if start is not None else min_batch)
+        #: Control-loop observability: how often tune ran / moved the size.
+        self.tunes = 0
+        self.adjustments = 0
+        self._last_tune_at: Optional[float] = None
+        self._interval_ewma: Optional[float] = None
+
+    def _clamp(self, size: int) -> int:
+        return max(self.min_batch, min(self.max_batch, size))
+
+    def _note_interval(self, now: float) -> None:
+        last = self._last_tune_at
+        self._last_tune_at = now
+        if last is None:
+            return
+        interval = now - last
+        if interval <= 0.0:
+            return
+        ewma = self._interval_ewma
+        self._interval_ewma = (
+            interval
+            if ewma is None
+            else (1.0 - _INTERVAL_ALPHA) * ewma + _INTERVAL_ALPHA * interval
+        )
+
+    def target(self, mempool_depth: int, now: float) -> int:
+        """The raw (pre-hysteresis) batch size for the current signals."""
+        backlog_target = -(-mempool_depth // self.drain_rounds)  # ceil div
+        rate_target = 0
+        if self.envelope is not None and self._interval_ewma is not None:
+            rate_target = int(self.envelope.envelope_rate(now) * self._interval_ewma)
+        return self._clamp(max(backlog_target, rate_target))
+
+    def tune(self, mempool_depth: int, now: float) -> int:
+        """One control-loop step; returns the batch size to propose with."""
+        self.tunes += 1
+        self._note_interval(now)
+        target = self.target(mempool_depth, now)
+        current = self.current
+        band = self.hysteresis * current
+        if abs(target - current) <= band:
+            return current
+        # Geometric approach: halfway toward the target per step, always
+        # moving at least one transaction so small gaps still converge.
+        step = (target - current) // 2
+        if step == 0:
+            step = 1 if target > current else -1
+        self.current = self._clamp(current + step)
+        if self.current != current:
+            self.adjustments += 1
+        return self.current
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "tunes": self.tunes,
+            "adjustments": self.adjustments,
+            "current": self.current,
+        }

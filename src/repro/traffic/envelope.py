@@ -1,0 +1,161 @@
+"""Arrival-rate envelopes: multi-horizon sliding-window rate tracking.
+
+An :class:`ArrivalEnvelope` answers "how fast are requests arriving right
+now?" the way InferLine-style serving systems do: it tracks the observed
+arrival rate over several sliding horizons at once (e.g. the last 1s, 5s
+and 30s) and reports the **max across horizons** as the envelope rate.  A
+short horizon reacts to bursts; a long horizon remembers sustained load
+through momentary lulls; the max of both is the rate a provisioning or
+batching decision must be prepared for.
+
+Implementation: one fixed ring of arrival-count buckets at the resolution
+of the shortest horizon.  ``observe`` is O(1) amortized; ``rate`` sums the
+buckets inside a horizon, O(buckets).  The clock is whatever the caller
+feeds in — simulated seconds and wall-clock seconds both work, as long as
+observe/rate calls share an origin.
+
+:class:`TrafficEnvelope` composes one cluster-wide envelope with lazily
+created per-source envelopes (one per client id), which is what admission
+control uses to attribute overload to the sources driving it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+#: Default rate horizons (seconds): burst, short-term, sustained.
+DEFAULT_HORIZONS = (1.0, 5.0, 30.0)
+
+#: Buckets per shortest horizon: the resolution/memory trade-off.
+_BUCKETS_PER_MIN_HORIZON = 8
+
+
+class ArrivalEnvelope:
+    """Sliding-window arrival rates over multiple horizons (one stream)."""
+
+    __slots__ = (
+        "horizons",
+        "total",
+        "_width",
+        "_counts",
+        "_head_bucket",
+        "_last_seen",
+    )
+
+    def __init__(self, horizons: Iterable[float] = DEFAULT_HORIZONS) -> None:
+        ordered = tuple(sorted(set(float(h) for h in horizons)))
+        if not ordered or ordered[0] <= 0.0:
+            raise ValueError("horizons must be positive")
+        self.horizons = ordered
+        #: Total arrivals ever observed.
+        self.total = 0
+        self._width = ordered[0] / _BUCKETS_PER_MIN_HORIZON
+        ring_len = int(ordered[-1] / self._width) + 1
+        self._counts = [0] * ring_len
+        #: Absolute index of the bucket holding the most recent arrivals.
+        self._head_bucket = 0
+        self._last_seen = 0.0
+
+    # ------------------------------------------------------------------
+    def _advance(self, now: float) -> None:
+        """Rotate the ring forward to the bucket containing ``now``."""
+        bucket = int(now / self._width) if now > 0.0 else 0
+        head = self._head_bucket
+        if bucket <= head:
+            return
+        counts = self._counts
+        ring_len = len(counts)
+        steps = bucket - head
+        if steps >= ring_len:
+            for i in range(ring_len):
+                counts[i] = 0
+        else:
+            for absolute in range(head + 1, bucket + 1):
+                counts[absolute % ring_len] = 0
+        self._head_bucket = bucket
+
+    def observe(self, now: float, count: int = 1) -> None:
+        """Record ``count`` arrivals at time ``now``.
+
+        Out-of-order timestamps (bounded clock skew between sources) are
+        credited to the current head bucket rather than rewriting history.
+        """
+        self._advance(now)
+        self._counts[self._head_bucket % len(self._counts)] += count
+        self.total += count
+        if now > self._last_seen:
+            self._last_seen = now
+
+    # ------------------------------------------------------------------
+    def rate(self, horizon: float, now: Optional[float] = None) -> float:
+        """Observed arrivals/sec over the trailing ``horizon`` seconds."""
+        if horizon <= 0.0:
+            raise ValueError("horizon must be positive")
+        if now is not None:
+            self._advance(now)
+        counts = self._counts
+        ring_len = len(counts)
+        span = min(int(horizon / self._width), ring_len - 1)
+        head = self._head_bucket
+        window = 0
+        for absolute in range(head - span, head + 1):
+            if absolute >= 0:
+                window += counts[absolute % ring_len]
+        return window / horizon
+
+    def envelope_rate(self, now: Optional[float] = None) -> float:
+        """Max rate across all horizons — the provisioning envelope."""
+        if now is not None:
+            self._advance(now)
+        best = 0.0
+        for horizon in self.horizons:
+            observed = self.rate(horizon)
+            if observed > best:
+                best = observed
+        return best
+
+    def snapshot(self, now: Optional[float] = None) -> dict:
+        """Per-horizon rates plus the envelope, for reporting."""
+        if now is not None:
+            self._advance(now)
+        rates = {f"rate_{horizon:g}s": self.rate(horizon) for horizon in self.horizons}
+        rates["envelope"] = max(rates.values()) if rates else 0.0
+        rates["total"] = self.total
+        return rates
+
+
+class TrafficEnvelope:
+    """Cluster-wide envelope plus lazily tracked per-source envelopes."""
+
+    __slots__ = ("horizons", "cluster", "per_source")
+
+    def __init__(self, horizons: Iterable[float] = DEFAULT_HORIZONS) -> None:
+        self.horizons = tuple(horizons)
+        self.cluster = ArrivalEnvelope(self.horizons)
+        self.per_source: dict[int, ArrivalEnvelope] = {}
+
+    def observe(self, source: int, now: float, count: int = 1) -> None:
+        self.cluster.observe(now, count)
+        envelope = self.per_source.get(source)
+        if envelope is None:
+            envelope = ArrivalEnvelope(self.horizons)
+            self.per_source[source] = envelope
+        envelope.observe(now, count)
+
+    def envelope_rate(self, now: Optional[float] = None) -> float:
+        return self.cluster.envelope_rate(now)
+
+    def source_rate(self, source: int, now: Optional[float] = None) -> float:
+        envelope = self.per_source.get(source)
+        if envelope is None:
+            return 0.0
+        return envelope.envelope_rate(now)
+
+    def snapshot(self, now: Optional[float] = None) -> dict:
+        return {
+            "cluster": self.cluster.snapshot(now),
+            "sources": {
+                source: envelope.snapshot(now)
+                for source, envelope in sorted(self.per_source.items())
+            },
+        }

@@ -1,0 +1,311 @@
+"""Saturation search: max sustainable throughput and the latency knee.
+
+The classic serving-systems question — "how much load can this cluster
+take before it falls over?" — is answered here the standard way:
+
+1. **measure one offered rate**: drive a cluster open-loop with Poisson
+   arrivals at a fixed rate through admission control for a fixed window,
+   then let admitted work drain; the run is *sustainable* when nearly all
+   offered requests actually commit (goodput ratio >= 0.95 — under
+   overload the bounded mempools shed offers, which is exactly the signal);
+2. **bracket then bisect**: double the offered rate until a run goes
+   unsustainable, then binary-search the interval; the highest sustainable
+   probe is the **knee**, and every probe becomes a point on the recorded
+   rate/goodput/latency curve;
+3. **adaptive-vs-fixed**: re-measure the knee rate under the adaptive batch
+   controller and under a sweep of fixed batch sizes, so the recorded
+   comparison shows where the controller lands against the best static
+   tuning.
+
+Everything here runs on the simulator's virtual clock and is fully
+deterministic in ``(scenario, seed)``; the live wall-clock scenario is in
+:meth:`repro.runtime.live.LiveCluster.run_open_loop`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.traffic.admission import AdmissionController
+from repro.traffic.envelope import TrafficEnvelope
+from repro.traffic.loadgen import OpenLoopGenerator, PoissonArrivals
+from repro.traffic.slo import LatencySummary, RequestTracker, summarize
+
+#: A probe is sustainable when at least this fraction of offers commit.
+SUSTAINABLE_GOODPUT_RATIO = 0.95
+
+
+def default_scenarios() -> "dict[str, SaturationScenario]":
+    """The canonical simulated saturation scenarios (BENCH_traffic.json)."""
+    return {
+        scenario.name: scenario
+        for scenario in (
+            SaturationScenario(name="steady-n4", n=4),
+            SaturationScenario(name="steady-n16", n=16),
+            SaturationScenario(name="steady-n64", n=64),
+            SaturationScenario(name="lossy20-n4", n=4, network="lossy"),
+            SaturationScenario(name="fallback-n4", n=4, network="attack"),
+        )
+    }
+
+
+@dataclass(frozen=True)
+class SaturationScenario:
+    """One named operating condition to find the knee of."""
+
+    name: str
+    n: int = 4
+    protocol: str = "fallback-3chain"
+    #: "sync" | "lossy" (iid drop behind reliable channels) | "attack"
+    #: (leader-targeting asynchronous adversary => fallback-heavy).
+    network: str = "sync"
+    round_timeout: float = 5.0
+    adaptive: bool = True
+    batch_size: int = 10
+    max_batch: int = 160
+    #: Per-replica mempool bound while probing (10x the largest batch, so
+    #: overload rejects within a few rounds instead of queueing forever).
+    mempool_capacity: int = 1600
+    loss_rate: float = 0.2
+    attack_delay: float = 60.0
+
+    def config(self):
+        from repro.protocols.presets import preset
+
+        return preset(self.protocol).config(
+            self.n,
+            round_timeout=self.round_timeout,
+            batch_size=self.batch_size,
+            adaptive_batching=self.adaptive,
+            adaptive_max_batch=self.max_batch,
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "n": self.n,
+            "protocol": self.protocol,
+            "network": self.network,
+            "adaptive": self.adaptive,
+            "batch_size": self.batch_size,
+            "max_batch": self.max_batch,
+            "mempool_capacity": self.mempool_capacity,
+        }
+
+
+@dataclass(frozen=True)
+class RateMeasurement:
+    """One open-loop probe at one offered rate."""
+
+    offered_rate: float
+    duration: float
+    offered: int
+    admitted: int
+    rejected: int
+    committed: int
+    goodput: float  #: committed transactions per second of offered window
+    goodput_ratio: float  #: committed / offered
+    latency: LatencySummary  #: submit -> commit
+    fallbacks: int
+
+    @property
+    def sustainable(self) -> bool:
+        return self.goodput_ratio >= SUSTAINABLE_GOODPUT_RATIO
+
+    def to_json(self) -> dict:
+        return {
+            "offered_rate": self.offered_rate,
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "committed": self.committed,
+            "goodput": self.goodput,
+            "goodput_ratio": self.goodput_ratio,
+            "sustainable": self.sustainable,
+            "latency": self.latency.to_json(),
+            "fallbacks": self.fallbacks,
+        }
+
+
+@dataclass(frozen=True)
+class SaturationResult:
+    """The knee plus the full probe curve for one scenario."""
+
+    scenario: SaturationScenario
+    knee_rate: float
+    knee: Optional[RateMeasurement]
+    curve: list[RateMeasurement] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "scenario": self.scenario.to_json(),
+            "max_sustainable_rate": self.knee_rate,
+            "knee": self.knee.to_json() if self.knee is not None else None,
+            "curve": [point.to_json() for point in self.curve],
+        }
+
+
+# ----------------------------------------------------------------------
+# One probe
+# ----------------------------------------------------------------------
+def measure_rate(
+    scenario: SaturationScenario,
+    rate: float,
+    duration: float = 120.0,
+    drain: float = 60.0,
+    seed: int = 0,
+) -> RateMeasurement:
+    """Run one simulated open-loop probe at ``rate`` offers/sec."""
+    # Imports here keep `repro.traffic` importable without the simulator
+    # stack (live tooling pulls in slo/envelope only).
+    from repro.experiments.scenarios import leader_attack_factory
+    from repro.net.loss import IIDLoss
+    from repro.runtime.cluster import ClusterBuilder
+
+    builder = ClusterBuilder(config=scenario.config(), seed=seed).with_preload(0)
+    if scenario.network == "lossy":
+        builder.with_loss_model(IIDLoss(drop=scenario.loss_rate))
+    elif scenario.network == "attack":
+        builder.with_delay_model_factory(
+            leader_attack_factory(scenario.attack_delay)
+        )
+    elif scenario.network != "sync":
+        raise ValueError(f"unknown network kind: {scenario.network!r}")
+    cluster = builder.build()
+
+    for mempool in cluster.mempools:
+        mempool.capacity = scenario.mempool_capacity
+    envelope = TrafficEnvelope()
+    tracker = RequestTracker()
+    admission = AdmissionController(
+        cluster.mempools, envelope=envelope, tracker=tracker
+    )
+    cluster.metrics.attach_request_tracker(tracker)
+    cluster.metrics.attach_admission(admission)
+
+    total_offers = max(1, int(rate * duration))
+    generator = OpenLoopGenerator(
+        PoissonArrivals(rate, seed=seed),
+        admission.offer,
+        max_count=total_offers,
+    )
+    cluster.start()
+    generator.start(cluster.scheduler)
+
+    def drained() -> bool:
+        return (
+            admission.offered >= total_offers
+            and tracker.committed_count() >= admission.admitted
+        )
+
+    cluster.run(until=duration + drain, stop_when=drained)
+
+    committed = tracker.committed_count()
+    return RateMeasurement(
+        offered_rate=rate,
+        duration=duration,
+        offered=admission.offered,
+        admitted=admission.admitted,
+        rejected=admission.rejected,
+        committed=committed,
+        goodput=committed / duration,
+        goodput_ratio=committed / max(1, admission.offered),
+        latency=summarize(tracker.commit_latencies()),
+        fallbacks=cluster.metrics.fallback_count(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Knee search
+# ----------------------------------------------------------------------
+def find_knee(
+    scenario: SaturationScenario,
+    duration: float = 120.0,
+    drain: float = 60.0,
+    seed: int = 0,
+    start_rate: float = 1.0,
+    max_rate: float = 1024.0,
+    bisect_steps: int = 4,
+) -> SaturationResult:
+    """Bracket (geometric doubling) then bisect the max sustainable rate."""
+    curve: list[RateMeasurement] = []
+
+    def probe(rate: float) -> RateMeasurement:
+        measurement = measure_rate(
+            scenario, rate, duration=duration, drain=drain, seed=seed
+        )
+        curve.append(measurement)
+        return measurement
+
+    low_rate, low = 0.0, None
+    rate = start_rate
+    while rate <= max_rate:
+        measurement = probe(rate)
+        if not measurement.sustainable:
+            break
+        low_rate, low = rate, measurement
+        rate *= 2.0
+    else:
+        # Sustainable all the way to the cap: the knee is off the charts.
+        return SaturationResult(
+            scenario=scenario, knee_rate=low_rate, knee=low,
+            curve=sorted(curve, key=lambda m: m.offered_rate),
+        )
+    high_rate = rate
+    for _ in range(bisect_steps):
+        mid_rate = (low_rate + high_rate) / 2.0
+        measurement = probe(mid_rate)
+        if measurement.sustainable:
+            low_rate, low = mid_rate, measurement
+        else:
+            high_rate = mid_rate
+    return SaturationResult(
+        scenario=scenario, knee_rate=low_rate, knee=low,
+        curve=sorted(curve, key=lambda m: m.offered_rate),
+    )
+
+
+# ----------------------------------------------------------------------
+# Adaptive vs fixed batching at the knee
+# ----------------------------------------------------------------------
+def compare_batching(
+    scenario: SaturationScenario,
+    rate: float,
+    fixed_sizes: tuple[int, ...] = (1, 10, 40, 160),
+    duration: float = 120.0,
+    drain: float = 60.0,
+    seed: int = 0,
+) -> dict:
+    """Measure the knee rate under adaptive and each fixed batch size.
+
+    Returns a JSON-ready record with one entry per mode plus a verdict on
+    whether the controller matched the best fixed setting (goodput first,
+    p50 as the tiebreaker).
+    """
+    adaptive = measure_rate(
+        replace(scenario, adaptive=True, name=f"{scenario.name}-adaptive"),
+        rate, duration=duration, drain=drain, seed=seed,
+    )
+    fixed: dict[int, RateMeasurement] = {}
+    for size in fixed_sizes:
+        fixed[size] = measure_rate(
+            replace(
+                scenario,
+                adaptive=False,
+                batch_size=size,
+                name=f"{scenario.name}-fixed{size}",
+            ),
+            rate, duration=duration, drain=drain, seed=seed,
+        )
+    best_size, best = max(
+        fixed.items(), key=lambda item: (item[1].committed, -(item[1].latency.p50 or 0))
+    )
+    adaptive_matches_best = adaptive.committed >= best.committed * 0.95
+    return {
+        "rate": rate,
+        "adaptive": adaptive.to_json(),
+        "fixed": {str(size): m.to_json() for size, m in fixed.items()},
+        "best_fixed_size": best_size,
+        "adaptive_matches_best_fixed": adaptive_matches_best,
+    }

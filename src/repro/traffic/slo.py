@@ -1,0 +1,162 @@
+"""SLO metrics: percentile math and per-request lifecycle tracking.
+
+This module is the single home of the linear-interpolation percentile the
+repo reports everywhere (client swarm, saturation benchmarks, live chaos
+runs) — it matches ``statistics.quantiles(..., method="inclusive")`` at the
+interior cut points, which is the property the SLO tests pin down.
+
+:class:`RequestTracker` follows every request through the serving stack:
+
+    submit -> propose -> commit -> confirm
+
+- **submit**: the client (or load generator) hands the transaction to the
+  cluster,
+- **propose**: some honest leader first includes it in a block,
+- **commit**: the first honest replica commits a block containing it,
+- **confirm**: a client collects f+1 matching replies (only present when
+  real clients are attached; loadgen-only runs stop at commit).
+
+Stage latencies derive from first-occurrence timestamps (duplicates from
+retransmissions or multi-replica commits are ignored), and
+:meth:`RequestTracker.summary` reduces them to the p50/p95/p99 figures
+``BENCH_traffic.json`` records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: The stages a request moves through, in pipeline order.
+STAGES = ("submit", "propose", "commit", "confirm")
+
+
+def percentile(values: list[float], p: float) -> Optional[float]:
+    """Linear-interpolated percentile (p in [0, 100]); None when empty.
+
+    Equivalent to ``statistics.quantiles(values, n=100,
+    method="inclusive")[p-1]`` for integer ``p`` in (0, 100) and
+    ``len(values) >= 2``.
+    """
+    if not values:
+        return None
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * (p / 100.0)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """p50/p95/p99 + mean/max over one latency population."""
+
+    count: int
+    p50: Optional[float]
+    p95: Optional[float]
+    p99: Optional[float]
+    mean: Optional[float]
+    max: Optional[float]
+
+    def to_json(self) -> dict:
+        return {
+            "count": self.count,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "mean": self.mean,
+            "max": self.max,
+        }
+
+
+def summarize(values: list[float]) -> LatencySummary:
+    """Reduce a latency population to its SLO summary."""
+    if not values:
+        return LatencySummary(count=0, p50=None, p95=None, p99=None, mean=None, max=None)
+    return LatencySummary(
+        count=len(values),
+        p50=percentile(values, 50),
+        p95=percentile(values, 95),
+        p99=percentile(values, 99),
+        mean=sum(values) / len(values),
+        max=max(values),
+    )
+
+
+class RequestTracker:
+    """First-occurrence submit/propose/commit/confirm timestamps per request.
+
+    All ``note_*`` hooks are idempotent (first timestamp wins), so callers
+    can feed them from every replica and every retransmission without
+    skewing the latency figures.  The tracker never drops entries; bound the
+    run, not the tracker.
+    """
+
+    __slots__ = ("submitted", "proposed", "committed", "confirmed")
+
+    def __init__(self) -> None:
+        self.submitted: dict[str, float] = {}
+        self.proposed: dict[str, float] = {}
+        self.committed: dict[str, float] = {}
+        self.confirmed: dict[str, float] = {}
+
+    # -- lifecycle hooks -------------------------------------------------
+    def note_submit(self, tx_id: str, now: float) -> None:
+        if tx_id not in self.submitted:
+            self.submitted[tx_id] = now
+
+    def note_propose(self, tx_id: str, now: float) -> None:
+        if tx_id not in self.proposed:
+            self.proposed[tx_id] = now
+
+    def note_commit(self, tx_id: str, now: float) -> None:
+        if tx_id not in self.committed:
+            self.committed[tx_id] = now
+
+    def note_confirm(self, tx_id: str, now: float) -> None:
+        if tx_id not in self.confirmed:
+            self.confirmed[tx_id] = now
+
+    # -- derived populations ---------------------------------------------
+    def _deltas(self, start: dict[str, float], end: dict[str, float]) -> list[float]:
+        return [t - start[tx_id] for tx_id, t in end.items() if tx_id in start]
+
+    def queue_latencies(self) -> list[float]:
+        """submit -> propose: time spent waiting in the mempool."""
+        return self._deltas(self.submitted, self.proposed)
+
+    def consensus_latencies(self) -> list[float]:
+        """propose -> commit: time spent inside the protocol."""
+        return self._deltas(self.proposed, self.committed)
+
+    def commit_latencies(self) -> list[float]:
+        """submit -> commit: the end-to-end figure loadgen runs report."""
+        return self._deltas(self.submitted, self.committed)
+
+    def confirm_latencies(self) -> list[float]:
+        """submit -> confirm: end-to-end including client reply quorum."""
+        return self._deltas(self.submitted, self.confirmed)
+
+    # -- reporting -------------------------------------------------------
+    def committed_count(self) -> int:
+        return len(self.committed)
+
+    def pending_count(self) -> int:
+        """Submitted but not (yet) committed."""
+        return len(self.submitted) - len(
+            self.submitted.keys() & self.committed.keys()
+        )
+
+    def summary(self) -> dict[str, LatencySummary]:
+        return {
+            "queue": summarize(self.queue_latencies()),
+            "consensus": summarize(self.consensus_latencies()),
+            "commit": summarize(self.commit_latencies()),
+            "confirm": summarize(self.confirm_latencies()),
+        }
+
+    def summary_json(self) -> dict:
+        return {stage: s.to_json() for stage, s in self.summary().items()}

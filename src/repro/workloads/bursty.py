@@ -11,11 +11,18 @@ from typing import Optional, Sequence
 
 from repro.mempool.mempool import Mempool
 from repro.sim.scheduler import Scheduler
+from repro.traffic.loadgen import BurstArrivals, OpenLoopGenerator
 from repro.workloads.generator import PayloadFn, Workload
 
 
 class BurstyWorkload(Workload):
-    """Injects ``burst_size`` transactions every ``period`` seconds."""
+    """Injects ``burst_size`` transactions every ``period`` seconds.
+
+    Adapter over :class:`repro.traffic.loadgen.OpenLoopGenerator` with a
+    :class:`~repro.traffic.loadgen.BurstArrivals` schedule: the first burst
+    lands at start time, each later burst exactly one period after the
+    previous, capped at ``bursts``.
+    """
 
     def __init__(
         self,
@@ -36,21 +43,16 @@ class BurstyWorkload(Workload):
         self.burst_size = burst_size
         self.period = period
         self.bursts = bursts
-        self._bursts_done = 0
-        self._next_index = 0
+        self._generator = OpenLoopGenerator(
+            BurstArrivals(burst_size, period, bursts=bursts),
+            self._sink,
+            client=client,
+            factory=self._build,
+        )
+        self._generator.submitted = self.submitted
 
     def start(self, scheduler: Scheduler) -> None:
-        self._burst(scheduler)
-
-    def _burst(self, scheduler: Scheduler) -> None:
-        if self._bursts_done >= self.bursts:
-            return
-        self._bursts_done += 1
-        for _ in range(self.burst_size):
-            self._inject(self._next_index, scheduler.now)
-            self._next_index += 1
-        scheduler.call_after(self.period, lambda: self._burst(scheduler),
-                             label="bursty-workload")
+        self._generator.start(scheduler)
 
 
 class SkewedKeyWorkload(Workload):

@@ -2,8 +2,14 @@
 
 Workloads run as simulated processes that periodically inject transactions
 into every replica's mempool (clients broadcast submissions, the usual BFT
-SMR client model).  All randomness comes from the scheduler's child RNGs, so
-workloads are reproducible.
+SMR client model).  All randomness comes from explicit seeds, so workloads
+are reproducible.
+
+The timed workloads (:class:`OpenLoopWorkload`, and
+:class:`~repro.workloads.bursty.BurstyWorkload`) are thin adapters over
+:mod:`repro.traffic.loadgen` — the arrival schedule and emission loop live
+there; this module only supplies the legacy constructor surface, payload
+functions, and the broadcast-to-every-mempool sink.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.mempool.mempool import Mempool
 from repro.sim.scheduler import Scheduler
+from repro.traffic.loadgen import OpenLoopGenerator, UniformArrivals
 from repro.types.transactions import Transaction, make_transaction
 
 #: Builds the payload string for transaction ``index`` of a client.
@@ -45,22 +52,39 @@ class Workload:
         for index in range(self.count):
             self._inject(index, scheduler.now)
 
-    def _inject(self, index: int, now: float) -> Transaction:
-        transaction = make_transaction(
+    # The loadgen factory/sink pair: adapters hand these to a generator so
+    # transaction ids, payloads, and broadcast submission stay identical to
+    # the historical inject path.
+    def _build(self, index: int, now: float) -> Transaction:
+        return make_transaction(
             index,
             client=self.client,
             payload=self.payload_fn(self.client, index),
             payload_size=self.payload_size,
             submitted_at=now,
         )
-        self.submitted.append(transaction)
+
+    def _sink(self, transaction: Transaction) -> bool:
+        accepted = False
         for mempool in self.mempools:
-            mempool.submit(transaction)
+            if mempool.submit(transaction):
+                accepted = True
+        return accepted
+
+    def _inject(self, index: int, now: float) -> Transaction:
+        transaction = self._build(index, now)
+        self.submitted.append(transaction)
+        self._sink(transaction)
         return transaction
 
 
 class OpenLoopWorkload(Workload):
-    """Injects transactions at a fixed rate for the whole run."""
+    """Injects transactions at a fixed rate for the whole run.
+
+    Adapter over :class:`repro.traffic.loadgen.OpenLoopGenerator` with a
+    :class:`~repro.traffic.loadgen.UniformArrivals` schedule: first
+    injection at start time, one every ``1/rate`` after.
+    """
 
     def __init__(
         self,
@@ -78,21 +102,20 @@ class OpenLoopWorkload(Workload):
             payload_size=payload_size,
             payload_fn=payload_fn,
         )
-        if rate <= 0:
-            raise ValueError("rate must be positive")
         self.rate = rate
         self.max_count = max_count
-        self._next_index = 0
+        self._generator = OpenLoopGenerator(
+            UniformArrivals(rate),
+            self._sink,
+            client=client,
+            factory=self._build,
+            max_count=max_count,
+        )
+        # Share one submission log so callers keep reading `.submitted`.
+        self._generator.submitted = self.submitted
 
     def start(self, scheduler: Scheduler) -> None:
-        self._tick(scheduler)
-
-    def _tick(self, scheduler: Scheduler) -> None:
-        if self._next_index >= self.max_count:
-            return
-        self._inject(self._next_index, scheduler.now)
-        self._next_index += 1
-        scheduler.call_after(1.0 / self.rate, lambda: self._tick(scheduler), label="workload")
+        self._generator.start(scheduler)
 
 
 class ClosedLoopWorkload(Workload):

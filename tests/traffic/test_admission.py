@@ -1,0 +1,83 @@
+"""Bounded-queue admission control: shed, count, attribute."""
+
+import pytest
+
+from repro.mempool.mempool import Mempool
+from repro.traffic.admission import AdmissionController
+from repro.traffic.envelope import TrafficEnvelope
+from repro.traffic.slo import RequestTracker
+from repro.types.transactions import make_transaction
+
+
+def bounded_pools(n=3, capacity=5):
+    return [Mempool(batch_size=10, capacity=capacity) for _ in range(n)]
+
+
+def test_needs_mempools():
+    with pytest.raises(ValueError):
+        AdmissionController([])
+
+
+def test_admits_until_capacity_then_rejects():
+    admission = AdmissionController(bounded_pools(capacity=5))
+    results = [
+        admission.offer(make_transaction(i, submitted_at=float(i)))
+        for i in range(8)
+    ]
+    assert results == [True] * 5 + [False] * 3
+    counters = admission.counters()
+    assert counters["offered"] == 8
+    assert counters["admitted"] == 5
+    assert counters["rejected"] == 3
+    assert counters["reject_rate"] == pytest.approx(3 / 8)
+    # Every pool rejected the 3 overflow offers.
+    assert counters["mempool_rejects"] == 9
+
+
+def test_rejects_attributed_per_source():
+    admission = AdmissionController(bounded_pools(capacity=2))
+    for i in range(4):
+        admission.offer(make_transaction(i, client=7))
+    admission.offer(make_transaction(9, client=8))
+    assert admission.counters()["rejected_by_source"] == {7: 2, 8: 1}
+
+
+def test_envelope_sees_offered_not_admitted_load():
+    envelope = TrafficEnvelope()
+    admission = AdmissionController(bounded_pools(capacity=2), envelope=envelope)
+    for i in range(10):
+        admission.offer(make_transaction(i, submitted_at=1.0))
+    # All 10 offers observed, even though 8 were shed.
+    assert envelope.cluster.total == 10
+
+
+def test_tracker_sees_admitted_only():
+    tracker = RequestTracker()
+    admission = AdmissionController(bounded_pools(capacity=2), tracker=tracker)
+    for i in range(10):
+        admission.offer(make_transaction(i, submitted_at=1.0))
+    assert len(tracker.submitted) == 2
+
+
+def test_duplicate_offer_of_pending_transaction_is_admitted():
+    admission = AdmissionController(bounded_pools(capacity=5))
+    transaction = make_transaction(0)
+    assert admission.offer(transaction)
+    assert admission.offer(transaction)  # retransmit: still pending => True
+    assert admission.counters()["rejected"] == 0
+
+
+def test_depth_is_max_mempool_backlog():
+    pools = bounded_pools(capacity=100)
+    admission = AdmissionController(pools)
+    for i in range(7):
+        admission.offer(make_transaction(i))
+    pools[0].mark_committed([make_transaction(0)])
+    assert admission.depth() == 7  # other pools still hold everything
+
+
+def test_unbounded_pools_never_reject():
+    admission = AdmissionController([Mempool(batch_size=10) for _ in range(2)])
+    for i in range(1000):
+        assert admission.offer(make_transaction(i))
+    assert admission.counters()["rejected"] == 0

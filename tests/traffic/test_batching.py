@@ -1,0 +1,83 @@
+"""The adaptive proposal-batch controller: hysteresis and convergence."""
+
+import pytest
+
+from repro.traffic.batching import AdaptiveBatchController
+from repro.traffic.envelope import ArrivalEnvelope
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        AdaptiveBatchController(min_batch=0)
+    with pytest.raises(ValueError):
+        AdaptiveBatchController(min_batch=10, max_batch=5)
+    with pytest.raises(ValueError):
+        AdaptiveBatchController(drain_rounds=0)
+    with pytest.raises(ValueError):
+        AdaptiveBatchController(hysteresis=1.0)
+
+
+def test_start_is_clamped():
+    controller = AdaptiveBatchController(min_batch=5, max_batch=50, start=1000)
+    assert controller.current == 50
+
+
+def test_deep_backlog_grows_batch():
+    controller = AdaptiveBatchController(min_batch=1, max_batch=160, start=10)
+    size = controller.tune(mempool_depth=1000, now=0.0)
+    assert size > 10
+    for step in range(1, 20):
+        size = controller.tune(mempool_depth=1000, now=float(step))
+    # Converges to the hysteresis band around the cap (the band's width is
+    # the point: the controller stops adjusting once within ±25% of target).
+    assert size >= 160 * 0.75
+
+
+def test_empty_mempool_shrinks_batch():
+    controller = AdaptiveBatchController(min_batch=1, max_batch=160, start=100)
+    size = 100
+    for step in range(20):
+        size = controller.tune(mempool_depth=0, now=float(step))
+    assert size == 1
+
+
+def test_hysteresis_suppresses_small_moves():
+    controller = AdaptiveBatchController(min_batch=1, max_batch=160, start=100)
+    # Target 90 is within the ±25% band around 100: no adjustment.
+    size = controller.tune(mempool_depth=180, now=0.0)  # ceil(180/2) = 90
+    assert size == 100
+    assert controller.adjustments == 0
+    assert controller.tunes == 1
+
+
+def test_geometric_approach_is_gradual():
+    controller = AdaptiveBatchController(min_batch=1, max_batch=160, start=10)
+    first = controller.tune(mempool_depth=320, now=0.0)  # target 160
+    # Halfway (75 of the 150 gap), not a jump to the target.
+    assert 10 < first < 160
+
+
+def test_envelope_rate_holds_batch_size_without_backlog():
+    envelope = ArrivalEnvelope(horizons=(1.0, 5.0))
+    controller = AdaptiveBatchController(
+        min_batch=1, max_batch=160, start=40, envelope=envelope
+    )
+    # 50 tx/s offered; proposals every 2s => rate target ~100.
+    now = 0.0
+    for round_number in range(1, 30):
+        now = round_number * 2.0
+        for tick in range(100):  # 50/s for the 2s interval
+            envelope.observe(now - 2.0 + tick * 0.02)
+        size = controller.tune(mempool_depth=0, now=now)
+    # Despite an empty mempool the envelope keeps the size provisioned.
+    assert size > 20
+
+
+def test_counters_track_activity():
+    controller = AdaptiveBatchController(start=10)
+    controller.tune(0, now=0.0)
+    controller.tune(1000, now=1.0)
+    counters = controller.counters()
+    assert counters["tunes"] == 2
+    assert counters["adjustments"] >= 1
+    assert counters["current"] == controller.current

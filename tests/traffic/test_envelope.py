@@ -1,0 +1,68 @@
+"""Arrival-rate envelopes: sliding-window rates across horizons."""
+
+import pytest
+
+from repro.traffic.envelope import DEFAULT_HORIZONS, ArrivalEnvelope, TrafficEnvelope
+
+
+def test_rejects_bad_horizons():
+    with pytest.raises(ValueError):
+        ArrivalEnvelope(horizons=())
+    with pytest.raises(ValueError):
+        ArrivalEnvelope(horizons=(0.0, 5.0))
+
+
+def test_steady_stream_rate_is_approximate():
+    envelope = ArrivalEnvelope(horizons=(1.0, 5.0))
+    # 10/sec for 5 seconds.
+    for tick in range(50):
+        envelope.observe(tick * 0.1)
+    # Window edges cover one extra partial bucket, so assert a band.
+    assert envelope.rate(1.0, now=4.9) == pytest.approx(10.0, rel=0.3)
+    assert envelope.rate(5.0, now=4.9) == pytest.approx(10.0, rel=0.3)
+    assert envelope.total == 50
+
+
+def test_burst_dominates_short_horizon():
+    envelope = ArrivalEnvelope(horizons=(1.0, 30.0))
+    envelope.observe(10.0, count=100)  # one 100-tx burst
+    short = envelope.rate(1.0, now=10.0)
+    long = envelope.rate(30.0, now=10.0)
+    assert short > long  # the burst is 100/s short-term, ~3/s sustained
+    assert envelope.envelope_rate(10.0) == short
+
+
+def test_old_arrivals_age_out():
+    envelope = ArrivalEnvelope(horizons=(1.0,))
+    envelope.observe(0.0, count=50)
+    assert envelope.rate(1.0, now=0.0) > 0
+    # Far beyond the ring: everything expired.
+    assert envelope.rate(1.0, now=100.0) == 0.0
+    assert envelope.total == 50  # lifetime counter survives
+
+
+def test_envelope_rate_is_max_across_horizons():
+    envelope = ArrivalEnvelope(horizons=(1.0, 10.0))
+    envelope.observe(5.0, count=20)
+    rates = envelope.snapshot(now=5.0)
+    assert rates["envelope"] == max(rates["rate_1s"], rates["rate_10s"])
+
+
+def test_out_of_order_observations_do_not_crash():
+    envelope = ArrivalEnvelope(horizons=(1.0,))
+    envelope.observe(5.0)
+    envelope.observe(4.2)  # skewed clock: credited to the head bucket
+    assert envelope.total == 2
+
+
+def test_traffic_envelope_tracks_sources():
+    traffic = TrafficEnvelope(horizons=DEFAULT_HORIZONS)
+    traffic.observe(source=1, now=0.5)
+    traffic.observe(source=1, now=0.6)
+    traffic.observe(source=2, now=0.6)
+    assert traffic.cluster.total == 3
+    assert traffic.per_source[1].total == 2
+    assert traffic.source_rate(1, now=0.6) > traffic.source_rate(2, now=0.6)
+    assert traffic.source_rate(99) == 0.0
+    snapshot = traffic.snapshot(now=0.6)
+    assert set(snapshot["sources"]) == {1, 2}

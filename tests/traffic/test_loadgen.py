@@ -1,0 +1,151 @@
+"""Load generators: seeded schedules, sim-clock and wall-clock drivers."""
+
+import asyncio
+import itertools
+
+import pytest
+
+from repro.sim.scheduler import Scheduler
+from repro.traffic.loadgen import (
+    BurstArrivals,
+    BurstyRampArrivals,
+    ClosedLoopGenerator,
+    OpenLoopGenerator,
+    PoissonArrivals,
+    UniformArrivals,
+)
+
+
+def take(schedule, count):
+    return list(itertools.islice(schedule.gaps(), count))
+
+
+# ----------------------------------------------------------------------
+# Schedules
+# ----------------------------------------------------------------------
+def test_uniform_gaps():
+    assert take(UniformArrivals(4.0), 3) == [0.25, 0.25, 0.25]
+    with pytest.raises(ValueError):
+        UniformArrivals(0.0)
+
+
+def test_poisson_is_seed_deterministic():
+    a = take(PoissonArrivals(10.0, seed=7), 50)
+    b = take(PoissonArrivals(10.0, seed=7), 50)
+    c = take(PoissonArrivals(10.0, seed=8), 50)
+    assert a == b
+    assert a != c
+    # Mean gap ~ 1/rate.
+    assert sum(a) / len(a) == pytest.approx(0.1, rel=0.5)
+
+
+def test_burst_gap_pattern():
+    gaps = take(BurstArrivals(3, 5.0, bursts=2), 10)
+    # 3 arrivals (2 zero gaps), wait, 3 arrivals, stop — no trailing wait.
+    assert gaps == [0.0, 0.0, 5.0, 0.0, 0.0]
+
+
+def test_bursty_ramp_rate_sweeps_up():
+    ramp = BurstyRampArrivals(base_rate=2.0, peak_rate=50.0, period=10.0, seed=1)
+    assert ramp.rate_at(0.0) == pytest.approx(2.0)
+    assert ramp.rate_at(9.999) == pytest.approx(50.0, rel=0.01)
+    assert ramp.rate_at(10.0) == pytest.approx(2.0)  # sawtooth reset
+    assert take(ramp, 20) == take(
+        BurstyRampArrivals(base_rate=2.0, peak_rate=50.0, period=10.0, seed=1), 20
+    )
+    with pytest.raises(ValueError):
+        BurstyRampArrivals(base_rate=10.0, peak_rate=5.0, period=1.0)
+
+
+# ----------------------------------------------------------------------
+# Open loop (sim clock)
+# ----------------------------------------------------------------------
+def test_open_loop_emits_on_schedule():
+    scheduler = Scheduler(seed=1)
+    seen = []
+    generator = OpenLoopGenerator(
+        UniformArrivals(10.0), lambda tx: seen.append(tx) or True
+    )
+    generator.start(scheduler)
+    scheduler.run(until=1.0)
+    assert 9 <= len(seen) <= 12
+    assert seen[0].submitted_at == 0.0
+
+
+def test_open_loop_burst_lands_same_instant():
+    scheduler = Scheduler(seed=1)
+    generator = OpenLoopGenerator(
+        BurstArrivals(4, 5.0, bursts=2), lambda tx: True
+    )
+    generator.start(scheduler)
+    scheduler.run(until=20.0)
+    times = sorted({tx.submitted_at for tx in generator.submitted})
+    assert times == [0.0, 5.0]
+    assert len(generator.submitted) == 8
+
+
+def test_open_loop_counts_rejections():
+    scheduler = Scheduler(seed=1)
+    generator = OpenLoopGenerator(
+        UniformArrivals(10.0),
+        lambda tx: tx.tx_id.endswith(("0", "2", "4", "6", "8")),
+        max_count=10,
+    )
+    generator.start(scheduler)
+    scheduler.run(until=10.0)
+    assert len(generator.submitted) == 10
+    assert generator.rejected == 5
+
+
+def test_open_loop_custom_factory_controls_ids():
+    from repro.types.transactions import make_transaction
+
+    scheduler = Scheduler(seed=1)
+    generator = OpenLoopGenerator(
+        UniformArrivals(100.0),
+        lambda tx: True,
+        factory=lambda index, now: make_transaction(
+            index, client=42, submitted_at=now
+        ),
+        max_count=3,
+    )
+    generator.start(scheduler)
+    scheduler.run(until=1.0)
+    assert [tx.tx_id for tx in generator.submitted] == [
+        "tx-42-0", "tx-42-1", "tx-42-2",
+    ]
+
+
+# ----------------------------------------------------------------------
+# Open loop (wall clock)
+# ----------------------------------------------------------------------
+def test_open_loop_wall_clock_driver():
+    async def go():
+        loop = asyncio.get_running_loop()
+        epoch = loop.time()
+        generator = OpenLoopGenerator(UniformArrivals(100.0), lambda tx: True)
+        await generator.run_wall_clock(0.2, lambda: loop.time() - epoch)
+        return generator
+
+    generator = asyncio.run(go())
+    # ~20 arrivals in 0.2s at 100/s; scheduling jitter allowed.
+    assert 5 <= len(generator.submitted) <= 25
+    assert all(tx.submitted_at <= 0.25 for tx in generator.submitted)
+
+
+# ----------------------------------------------------------------------
+# Closed loop
+# ----------------------------------------------------------------------
+def test_closed_loop_fills_and_refills():
+    scheduler = Scheduler(seed=1)
+    generator = ClosedLoopGenerator(3, lambda tx: True)
+    generator.start(scheduler)
+    assert len(generator.submitted) == 3
+    generator.notify_committed(generator.submitted[0])
+    assert len(generator.submitted) == 4
+    # Foreign clients are ignored.
+    foreign = type(generator.submitted[0])(tx_id="x", client=99)
+    generator.notify_committed(foreign)
+    assert len(generator.submitted) == 4
+    with pytest.raises(ValueError):
+        ClosedLoopGenerator(0, lambda tx: True)

@@ -1,0 +1,121 @@
+"""SLO percentile math and the per-request lifecycle tracker."""
+
+import statistics
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.traffic.slo import LatencySummary, RequestTracker, percentile, summarize
+
+
+# ----------------------------------------------------------------------
+# percentile
+# ----------------------------------------------------------------------
+def test_percentile_empty_is_none():
+    assert percentile([], 50) is None
+
+
+def test_percentile_single_value():
+    assert percentile([3.5], 99) == 3.5
+
+
+def test_percentile_interpolates():
+    values = [0.0, 10.0]
+    assert percentile(values, 50) == pytest.approx(5.0)
+    assert percentile(values, 25) == pytest.approx(2.5)
+
+
+def test_percentile_order_insensitive():
+    assert percentile([5.0, 1.0, 3.0], 50) == percentile([1.0, 3.0, 5.0], 50)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=2,
+        max_size=200,
+    ),
+    st.integers(min_value=1, max_value=99),
+)
+def test_percentile_matches_statistics_quantiles(values, p):
+    """The extracted helper is the stdlib's inclusive quantile method."""
+    expected = statistics.quantiles(values, n=100, method="inclusive")[p - 1]
+    assert percentile(values, p) == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_percentile_bounded_by_min_max(values):
+    for p in (0, 50, 100):
+        result = percentile(values, p)
+        assert min(values) <= result <= max(values)
+
+
+# ----------------------------------------------------------------------
+# summarize
+# ----------------------------------------------------------------------
+def test_summarize_empty():
+    summary = summarize([])
+    assert summary == LatencySummary(
+        count=0, p50=None, p95=None, p99=None, mean=None, max=None
+    )
+    assert summary.to_json()["count"] == 0
+
+
+def test_summarize_population():
+    summary = summarize([1.0, 2.0, 3.0, 4.0])
+    assert summary.count == 4
+    assert summary.p50 == pytest.approx(2.5)
+    assert summary.mean == pytest.approx(2.5)
+    assert summary.max == 4.0
+
+
+# ----------------------------------------------------------------------
+# RequestTracker
+# ----------------------------------------------------------------------
+def test_tracker_full_lifecycle():
+    tracker = RequestTracker()
+    tracker.note_submit("tx-1", 1.0)
+    tracker.note_propose("tx-1", 3.0)
+    tracker.note_commit("tx-1", 6.0)
+    tracker.note_confirm("tx-1", 7.5)
+    assert tracker.queue_latencies() == [2.0]
+    assert tracker.consensus_latencies() == [3.0]
+    assert tracker.commit_latencies() == [5.0]
+    assert tracker.confirm_latencies() == [6.5]
+    assert tracker.committed_count() == 1
+    assert tracker.pending_count() == 0
+
+
+def test_tracker_first_occurrence_wins():
+    tracker = RequestTracker()
+    tracker.note_commit("tx-1", 5.0)
+    tracker.note_commit("tx-1", 9.0)  # later replica commit: ignored
+    tracker.note_submit("tx-1", 1.0)
+    assert tracker.commit_latencies() == [4.0]
+
+
+def test_tracker_pending_excludes_unsubmitted_commits():
+    tracker = RequestTracker()
+    tracker.note_submit("tx-a", 0.0)
+    tracker.note_submit("tx-b", 0.0)
+    tracker.note_commit("tx-a", 1.0)
+    tracker.note_commit("tx-stray", 1.0)  # committed but never submitted here
+    assert tracker.pending_count() == 1
+    assert tracker.commit_latencies() == [1.0]
+
+
+def test_tracker_summary_json_stages():
+    tracker = RequestTracker()
+    tracker.note_submit("tx-1", 0.0)
+    tracker.note_commit("tx-1", 2.0)
+    payload = tracker.summary_json()
+    assert set(payload) == {"queue", "consensus", "commit", "confirm"}
+    assert payload["commit"]["count"] == 1
+    assert payload["confirm"]["count"] == 0

@@ -31,6 +31,19 @@ def test_burst_timestamps_cluster():
     assert times == [0.0, 7.0]
 
 
+def test_burst_timing_is_deterministic():
+    """Two identical runs produce identical ids AND identical timestamps."""
+
+    def run():
+        scheduler = Scheduler(seed=5)
+        workload = BurstyWorkload(pools(), burst_size=6, period=3.5, bursts=4)
+        workload.start(scheduler)
+        scheduler.run(until=50.0)
+        return [(tx.tx_id, tx.submitted_at) for tx in workload.submitted]
+
+    assert run() == run()
+
+
 def test_bursty_validation():
     with pytest.raises(ValueError):
         BurstyWorkload(pools(), burst_size=0)
