@@ -362,11 +362,64 @@ def cmd_lint(args) -> int:
                 Path(args.graph).write_text(dump + "\n", encoding="utf-8")
                 print(f"call graph written to {args.graph}")
             return 0
-        findings = lint_modules(modules, get_rules(args.rule or None))
+        if args.effects is not None:
+            from repro.lint.flow import build_effects
+
+            project = [
+                m for m in modules if not m.is_test and m.module.startswith("repro")
+            ]
+            index = build_effects(project)
+            dump = json_module.dumps(
+                index.to_json(args.effects_prefix or None),
+                indent=2,
+                sort_keys=True,
+            )
+            if args.effects == "-":
+                print(dump)
+            else:
+                Path(args.effects).write_text(dump + "\n", encoding="utf-8")
+                print(f"effect summaries written to {args.effects}")
+            return 0
+        only_paths = None
+        if args.changed:
+            only_paths = _git_changed_paths(src_root.parent)
+            if not only_paths:
+                print("repro lint: no changed python files")
+                return 0
+        findings = lint_modules(
+            modules, get_rules(args.rule or None), only_paths=only_paths
+        )
     except LintError as exc:
         raise SystemExit(f"repro lint: {exc}")
     print(render_json(findings) if args.format == "json" else render_text(findings))
     return 1 if should_fail(findings, args.fail_on) else 0
+
+
+def _git_changed_paths(repo_root) -> "set[str]":
+    """Repo-relative ``*.py`` paths changed vs HEAD, plus untracked files.
+
+    The display paths in findings are repo-relative posix paths, so the
+    output of ``git diff --name-only`` matches them directly.
+    """
+    import subprocess
+
+    changed: "set[str]" = set()
+    for command in (
+        ["git", "-C", str(repo_root), "diff", "--name-only", "HEAD"],
+        ["git", "-C", str(repo_root), "ls-files", "--others", "--exclude-standard"],
+    ):
+        result = subprocess.run(command, capture_output=True, text=True)
+        if result.returncode != 0:
+            raise SystemExit(
+                "repro lint: --changed needs a git checkout "
+                f"({' '.join(command[3:])} failed: {result.stderr.strip()})"
+            )
+        changed.update(
+            line.strip()
+            for line in result.stdout.splitlines()
+            if line.strip().endswith(".py")
+        )
+    return changed
 
 
 def cmd_table1(args) -> int:
@@ -560,6 +613,19 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--graph-prefix", default=None, metavar="MODULE",
                       help="restrict --graph output to modules under this "
                            "dotted prefix (e.g. repro.core)")
+    lint.add_argument("--effects", nargs="?", const="-", default=None,
+                      metavar="FILE",
+                      help="instead of linting, dump per-function effect "
+                           "summaries (suspension points, self reads/writes, "
+                           "tasks, blocking closure) as JSON to FILE "
+                           "(stdout by default)")
+    lint.add_argument("--effects-prefix", action="append", default=[],
+                      metavar="MODULE",
+                      help="restrict --effects output to modules under these "
+                           "dotted prefixes (repeatable; e.g. repro.runtime)")
+    lint.add_argument("--changed", action="store_true",
+                      help="lint only files changed vs git HEAD (plus "
+                           "untracked files) for fast pre-commit runs")
 
     table1 = sub.add_parser("table1", help="reproduce Table 1")
     table1.add_argument("--n", type=int, default=4)

@@ -112,10 +112,12 @@ class SwarmClient:
         )
 
     async def close(self) -> None:
-        if self._retransmit_task is not None:
-            self._retransmit_task.cancel()
-            await asyncio.gather(self._retransmit_task, return_exceptions=True)
-            self._retransmit_task = None
+        # Swap-before-suspend: take the handle atomically so a concurrent
+        # close() cannot cancel/clear a task this frame already joined.
+        task, self._retransmit_task = self._retransmit_task, None
+        if task is not None:
+            task.cancel()
+            await asyncio.gather(task, return_exceptions=True)
         if self.transport is not None:
             await self.transport.close()
 
@@ -291,11 +293,17 @@ class ClientSwarm:
         finally:
             for task in drivers:
                 task.cancel()
-            await asyncio.gather(*drivers, return_exceptions=True)
-            for client in self.clients:
-                await client.close()
+            # Shielded: cancelling the swarm mid-run must not abandon the
+            # driver tasks or leave client transports half-open.
+            await asyncio.shield(self._shutdown(drivers))
             self._wall_seconds = time.monotonic() - started
         return self.report()
+
+    async def _shutdown(self, drivers: "list[asyncio.Task[None]]") -> None:
+        """Join cancelled drivers and close every client (shield target)."""
+        await asyncio.gather(*drivers, return_exceptions=True)
+        for client in self.clients:
+            await client.close()
 
     async def _drive(self, client: SwarmClient, duration: float) -> None:
         deadline = time.monotonic() + duration

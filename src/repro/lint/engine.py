@@ -253,19 +253,31 @@ def collect_modules(
 
 
 def lint_modules(
-    modules: Sequence[ParsedModule], rules: Optional[Sequence[Rule]] = None
+    modules: Sequence[ParsedModule],
+    rules: Optional[Sequence[Rule]] = None,
+    only_paths: Optional[Iterable[str]] = None,
 ) -> List[Finding]:
-    """Run ``rules`` over ``modules`` and return pragma-filtered findings."""
+    """Run ``rules`` over ``modules`` and return pragma-filtered findings.
+
+    ``only_paths`` (display paths, as in ``Finding.path``) restricts the
+    *reported* scope without shrinking the analysis: per-module rules run
+    only on the listed files, while project rules still see the whole
+    tree (their interprocedural facts need it) and have their findings
+    filtered to the listed files afterwards.
+    """
     if rules is None:
         rules = get_rules()
     active = [module for module in modules if not module.skipped]
     by_path = {module.path: module for module in active}
+    selected = None if only_paths is None else set(only_paths)
     raw: List[Finding] = []
     for rule in rules:
         if isinstance(rule, ProjectRule):
             raw.extend(rule.check_project(active))
         else:
             for module in active:
+                if selected is not None and module.path not in selected:
+                    continue
                 if rule.applies_to(module):
                     raw.extend(rule.check(module))
     findings = [
@@ -275,6 +287,7 @@ def lint_modules(
             finding.path in by_path
             and by_path[finding.path].suppresses(finding.line, finding.rule)
         )
+        and (selected is None or finding.path in selected)
     ]
     return sorted(set(findings))
 

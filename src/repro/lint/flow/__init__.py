@@ -2,7 +2,10 @@
 
 `callgraph` builds a def/use-resolved project call graph from the parsed
 lint modules; `taint` runs a field-level Byzantine-taint dataflow over
-it.  The flow-based rules in `repro.lint.rules` sit on top of both.
+it; `effects` computes per-function effect summaries (suspension points,
+self-attribute reads/writes, tasks, locks, blocking calls) with
+transitive may-suspend/may-block closure.  The flow-based rules in
+`repro.lint.rules` sit on top of all three.
 """
 
 from repro.lint.flow.callgraph import (
@@ -10,6 +13,13 @@ from repro.lint.flow.callgraph import (
     ClassNode,
     FunctionNode,
     build_call_graph,
+)
+from repro.lint.flow.effects import (
+    BLOCKING_CALLS,
+    BLOCKING_METHOD_TAILS,
+    EffectsIndex,
+    FunctionEffects,
+    build_effects,
 )
 from repro.lint.flow.taint import (
     GUARD_METHODS,
@@ -21,8 +31,12 @@ from repro.lint.flow.taint import (
 )
 
 __all__ = [
+    "BLOCKING_CALLS",
+    "BLOCKING_METHOD_TAILS",
     "CallGraph",
     "ClassNode",
+    "EffectsIndex",
+    "FunctionEffects",
     "FunctionNode",
     "GUARD_METHODS",
     "SINK_METHODS",
@@ -30,5 +44,6 @@ __all__ = [
     "Summary",
     "TaintEngine",
     "build_call_graph",
+    "build_effects",
     "is_sanitizer_name",
 ]

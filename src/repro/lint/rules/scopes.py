@@ -1,0 +1,28 @@
+"""Shared scope policy for the concurrency-rule family.
+
+The five interprocedural asyncio rules (`await-atomicity`,
+`blocking-in-async`, `task-lifecycle`, `cancellation-safety`,
+`unbounded-queue`) all target the *live runtime* — the code that runs
+replicas over real sockets and processes — and deliberately skip the
+deterministic simulator, where there is no event loop to stall and no
+task to leak.  Keeping the prefix list in one place means a new runtime
+package gets all five rules by adding one string.
+"""
+
+from __future__ import annotations
+
+#: Dotted module prefixes the concurrency rules apply to.
+RUNTIME_SCOPE_PREFIXES = (
+    "repro.net.tcp",
+    "repro.runtime",
+    "repro.client",
+    "repro.traffic",
+)
+
+
+def in_runtime_scope(module_name: str) -> bool:
+    """True when ``module_name`` falls under a runtime scope prefix."""
+    return any(
+        module_name == prefix or module_name.startswith(prefix + ".")
+        for prefix in RUNTIME_SCOPE_PREFIXES
+    )

@@ -44,7 +44,7 @@ from __future__ import annotations
 import asyncio
 import random
 import struct
-from typing import Callable, Optional
+from typing import Callable, Optional, cast
 
 from repro.wire.codec import DecodeError, WIRE_VERSION, decode_message
 from repro.wire.framing import FrameError, encode_frame, read_frame
@@ -62,6 +62,61 @@ _BACKOFF_MAX = 2.0
 #: Delivery callback: (peer_id, message).
 MessageHandler = Callable[[int, object], None]
 
+#: Grace period (seconds) for a channel's sender task to drain its queue
+#: after the close sentinel before it is cancelled outright.
+_CLOSE_GRACE = 0.5
+
+
+async def _finish_sender(
+    task: "asyncio.Task[None]", queue: "asyncio.Queue[Optional[bytes]]"
+) -> None:
+    """Stop a channel's sender task without swallowing cancellation.
+
+    Posts the ``None`` sentinel (best effort), gives the sender a grace
+    period to drain, then cancels it.  Cancellation aimed at the *caller*
+    always propagates: a ``close()`` must never convert its own
+    cancellation into silent success, or the canceller's ``await task``
+    hangs believing teardown is still running.
+    """
+    try:
+        queue.put_nowait(None)
+    except asyncio.QueueFull:
+        pass
+    try:
+        await asyncio.wait_for(asyncio.shield(task), timeout=_CLOSE_GRACE)
+        return
+    except asyncio.TimeoutError:
+        pass
+    except asyncio.CancelledError:
+        task.cancel()
+        raise
+    task.cancel()
+    try:
+        await task
+    except asyncio.CancelledError:
+        current = asyncio.current_task()
+        if current is not None and current.cancelling():
+            raise  # the cancellation was aimed at us, not just the sender
+    except (ConnectionError, OSError):
+        pass
+
+
+async def _reap_connection(
+    reply_reader: "Optional[asyncio.Task[None]]", writer: asyncio.StreamWriter
+) -> None:
+    """Join the reply reader and wait out the closing socket.
+
+    Runs under ``asyncio.shield`` from ``finally`` blocks: cancelling the
+    owner must not abandon a half-closed socket mid-teardown, and the
+    owner's cancellation still propagates once the reap is done.
+    """
+    if reply_reader is not None:
+        await asyncio.gather(reply_reader, return_exceptions=True)
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+
 
 class _PeerChannel:
     """Reconnecting full-duplex outbound channel to one statically known peer."""
@@ -76,7 +131,7 @@ class _PeerChannel:
         self.queue: asyncio.Queue[Optional[bytes]] = asyncio.Queue(
             maxsize=transport.queue_limit
         )
-        self.task: Optional[asyncio.Task] = None
+        self.task: Optional["asyncio.Task[None]"] = None
         self._closed = False
         # Per-peer counters (aggregated by TcpTransport.per_peer_counters).
         self.frames_sent = 0
@@ -121,7 +176,7 @@ class _PeerChannel:
                 attempt += 1
                 continue
             attempt = 0
-            reply_reader: Optional[asyncio.Task] = None
+            reply_reader: Optional["asyncio.Task[None]"] = None
             try:
                 writer.write(
                     encode_frame(
@@ -153,30 +208,18 @@ class _PeerChannel:
             finally:
                 if reply_reader is not None:
                     reply_reader.cancel()
-                    await asyncio.gather(reply_reader, return_exceptions=True)
                 writer.close()
-                try:
-                    await writer.wait_closed()
-                except (ConnectionError, OSError):
-                    pass
+                # Shielded so cancelling the sender mid-teardown cannot
+                # abandon the reader task or the half-closed socket.
+                await asyncio.shield(_reap_connection(reply_reader, writer))
 
     async def close(self) -> None:
         self._closed = True
         if self.task is None:
             return
-        # Unblock the sender loop; if it's mid-reconnect, cancel instead.
-        try:
-            self.queue.put_nowait(None)
-        except asyncio.QueueFull:
-            pass
-        try:
-            await asyncio.wait_for(asyncio.shield(self.task), timeout=0.5)
-        except (asyncio.TimeoutError, asyncio.CancelledError):
-            self.task.cancel()
-            try:
-                await self.task
-            except (asyncio.CancelledError, ConnectionError, OSError):
-                pass
+        # Sentinel first, grace period, then cancel; caller cancellation
+        # always propagates (see _finish_sender).
+        await _finish_sender(self.task, self.queue)
 
 
 class _ReplyChannel:
@@ -232,18 +275,7 @@ class _ReplyChannel:
 
     async def close(self) -> None:
         self._closed = True
-        try:
-            self.queue.put_nowait(None)
-        except asyncio.QueueFull:
-            pass
-        try:
-            await asyncio.wait_for(asyncio.shield(self.task), timeout=0.5)
-        except (asyncio.TimeoutError, asyncio.CancelledError):
-            self.task.cancel()
-            try:
-                await self.task
-            except (asyncio.CancelledError, ConnectionError, OSError):
-                pass
+        await _finish_sender(self.task, self.queue)
 
 
 class TcpTransport:
@@ -284,10 +316,10 @@ class TcpTransport:
         #: Jitter source (live-side module: wall-clock nondeterminism is the
         #: point; inject a seeded Random for reproducible backoff in tests).
         self.rng = rng if rng is not None else random.Random()
-        self._server: Optional[asyncio.base_events.Server] = None
+        self._server: Optional[asyncio.AbstractServer] = None
         self._channels: dict[int, _PeerChannel] = {}
         self._accepted: dict[int, _ReplyChannel] = {}
-        self._inbound_tasks: set[asyncio.Task] = set()
+        self._inbound_tasks: set["asyncio.Task[None]"] = set()
         self._closed = False
         # Counters (read by LiveNetwork reports and the transport tests).
         self.frames_sent = 0
@@ -306,10 +338,13 @@ class TcpTransport:
     # ------------------------------------------------------------------
     async def start(self) -> tuple[str, int]:
         """Bind the listener; returns the bound (host, port)."""
-        self._server = await asyncio.start_server(
+        server = await asyncio.start_server(
             self._handle_inbound, host=self.host, port=self.port
         )
-        self.port = self._server.sockets[0].getsockname()[1]
+        self._server = server
+        # One-shot bind: recording the kernel-assigned ephemeral port is a
+        # benign read-then-write (nothing else runs until start() returns).
+        self.port = int(server.sockets[0].getsockname()[1])  # repro-lint: ignore[await-atomicity]
         return self.host, self.port
 
     def add_peer(self, peer_id: int, host: str, port: int) -> None:
@@ -387,9 +422,9 @@ class TcpTransport:
                 self.on_message(peer_id, message)
         except FrameError:
             self.frame_errors += 1
-            writer.transport.abort()
+            cast(asyncio.WriteTransport, writer.transport).abort()
         except (asyncio.IncompleteReadError, ConnectionError, OSError):
-            writer.transport.abort()
+            cast(asyncio.WriteTransport, writer.transport).abort()
 
     async def _handle_inbound(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -408,11 +443,14 @@ class TcpTransport:
                 # Dynamic peer (client): replies flow back over this
                 # connection.  A fresh connection from the same id replaces
                 # the stale channel (the client reconnected).
+                # Register the replacement *before* the suspension in
+                # stale.close(): a send() racing the handoff must see the
+                # fresh channel, never a gap (and never the closed one).
                 stale = self._accepted.pop(peer_id, None)
-                if stale is not None:
-                    await stale.close()
                 reply = _ReplyChannel(self, peer_id, writer)
                 self._accepted[peer_id] = reply
+                if stale is not None:
+                    await stale.close()
             while not self._closed:
                 payload = await read_frame(reader)
                 self.frames_received += 1
@@ -440,22 +478,26 @@ class TcpTransport:
             if task is not None:
                 task.uncancel()
         finally:
-            if reply is not None:
-                if self._accepted.get(peer_id) is reply:
-                    del self._accepted[peer_id]
-                await reply.close()
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
-            except asyncio.CancelledError:
-                # Shutdown can also cancel us *here*, mid-finally; same
-                # rules as above — swallow our own close, propagate others.
-                if not self._closed:
-                    raise
-                if task is not None:
-                    task.uncancel()
+            # Shielded so a cancellation landing mid-finally cannot skip
+            # the channel deregistration or leave the socket half-closed.
+            await asyncio.shield(self._finish_inbound(reply, peer_id, writer))
+
+    async def _finish_inbound(
+        self,
+        reply: Optional[_ReplyChannel],
+        peer_id: Optional[int],
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Teardown for one accepted connection (runs under shield)."""
+        if reply is not None and peer_id is not None:
+            if self._accepted.get(peer_id) is reply:
+                del self._accepted[peer_id]
+            await reply.close()
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
 
     async def _handshake(self, reader: asyncio.StreamReader) -> Optional[int]:
         """Read and validate the HELLO frame; returns the peer id or None."""
@@ -468,7 +510,7 @@ class TcpTransport:
         if magic != _MAGIC or version != WIRE_VERSION:
             self.auth_failures += 1
             return None
-        return peer_id
+        return int(peer_id)
 
     # ------------------------------------------------------------------
     # Reporting

@@ -31,7 +31,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Any, Callable, Optional, Protocol
 
 from repro.core.config import ProtocolConfig, ProtocolVariant
 from repro.core.context import SharedSetup
@@ -46,6 +46,18 @@ from repro.workloads.generator import Workload
 
 #: Filter signature: (sender, receiver, message) -> True to DROP.
 DropFilter = Callable[[int, int, object], bool]
+
+
+class _DeliverableProcess(Protocol):
+    """What :class:`LiveNetwork` needs from a registered process.
+
+    Structurally satisfied by :class:`~repro.sim.process.Process` (and so
+    by every replica variant) without importing the simulator base class.
+    """
+
+    process_id: int
+
+    def deliver(self, sender: int, message: Any) -> None: ...
 
 
 # ----------------------------------------------------------------------
@@ -126,7 +138,7 @@ class LiveNetwork:
         self.scheduler = scheduler
         self.metrics = metrics
         self._loop = asyncio.get_running_loop()
-        self._processes: dict[int, object] = {}
+        self._processes: dict[int, _DeliverableProcess] = {}
         self._transports: dict[int, TcpTransport] = {}
         self._group_sorted: tuple[int, ...] = ()
         #: Filters applied to remote sends; any True verdict drops the send.
@@ -137,7 +149,9 @@ class LiveNetwork:
         self.encode_failures = 0
 
     # -- topology ------------------------------------------------------
-    def register(self, process, transport: TcpTransport) -> None:
+    def register(
+        self, process: _DeliverableProcess, transport: TcpTransport
+    ) -> None:
         process_id = process.process_id
         if process_id in self._processes:
             raise ValueError(f"process id {process_id} already registered")
@@ -148,7 +162,7 @@ class LiveNetwork:
     def process_ids(self) -> list[int]:
         return list(self._group_sorted)
 
-    def process(self, process_id: int):
+    def process(self, process_id: int) -> _DeliverableProcess:
         return self._processes[process_id]
 
     # -- chaos ---------------------------------------------------------
@@ -294,6 +308,11 @@ class LiveCluster:
             self._run(target_commits, timeout, force_fallback, fallback_after_commits)
         )
 
+    async def _close_transports(self) -> None:
+        """Close every transport; the shield target for cancelled runs."""
+        for transport in self.transports:
+            await transport.close()
+
     async def _run(
         self,
         target_commits: int,
@@ -334,8 +353,8 @@ class LiveCluster:
         finally:
             for replica in self.replicas:
                 replica.cancel_all_timers()
-            for transport in self.transports:
-                await transport.close()
+            # Shielded: a cancelled run must still close every transport.
+            await asyncio.shield(self._close_transports())
         return LiveRunReport(
             decisions=metrics.decisions(),
             min_honest_height=metrics.min_honest_height(),
@@ -359,7 +378,7 @@ class LiveCluster:
         drain: float = 10.0,
         mempool_capacity: Optional[int] = None,
         loadgen_seed: int = 0,
-    ) -> dict:
+    ) -> dict[str, Any]:
         """Drive the live cluster open-loop at ``rate`` offers/sec.
 
         Poisson arrivals flow through a bounded-queue
@@ -380,7 +399,7 @@ class LiveCluster:
         drain: float,
         mempool_capacity: Optional[int],
         loadgen_seed: int,
-    ) -> dict:
+    ) -> dict[str, Any]:
         from repro.traffic.admission import AdmissionController
         from repro.traffic.envelope import TrafficEnvelope
         from repro.traffic.loadgen import OpenLoopGenerator, PoissonArrivals
@@ -416,8 +435,8 @@ class LiveCluster:
         finally:
             for replica in self.replicas:
                 replica.cancel_all_timers()
-            for transport in self.transports:
-                await transport.close()
+            # Shielded: a cancelled run must still close every transport.
+            await asyncio.shield(self._close_transports())
         committed = tracker.committed_count()
         return {
             "offered_rate": rate,
@@ -462,7 +481,7 @@ class LiveCluster:
                 if peer_id != replica_id:
                     transport.add_peer(peer_id, host, port)
 
-        replica_cls: type = Replica
+        replica_cls: type[Replica] = Replica
         if self.durable:
             from repro.storage.durable import DurableReplica
 

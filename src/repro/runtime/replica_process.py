@@ -225,9 +225,15 @@ class ReplicaProcess:
         finally:
             status = self._publish_status(final=True)
             self.replica.cancel_all_timers()
-            await self.transport.close()
-            journal.close()
+            # Shielded: a cancelled replica (SIGTERM path) must still
+            # close its transport and journal before the process exits.
+            await asyncio.shield(self._shutdown(journal))
         return status
+
+    async def _shutdown(self, journal: FileSafetyJournal) -> None:
+        """Transport + journal teardown; the shield target for run()."""
+        await self.transport.close()
+        journal.close()
 
     # ------------------------------------------------------------------
     # Plumbing

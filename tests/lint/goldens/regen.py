@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Regenerate every lint golden in this directory.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python tests/lint/goldens/regen.py
+
+Rebuilds, with byte-identical formatting to the CLI dumps:
+
+- ``callgraph_core.json`` — the ``repro.core`` slice of the project call
+  graph (``repro lint --graph ... --graph-prefix repro.core``)
+- ``effects_runtime.json`` — per-function effect summaries for the live
+  runtime scopes (``repro lint --effects ...`` with the four
+  ``--effects-prefix`` values the concurrency rules cover)
+
+Run it whenever a golden test fails after an intentional change, then
+review the diff like any other code change: a new suspension point or a
+widened blocking closure in the diff is the analysis telling you what
+your edit did to the runtime's concurrency behavior.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+GOLDENS = Path(__file__).resolve().parent
+
+
+def _repo_root() -> Path:
+    """The repo root: via the importable package, else relative to here."""
+    try:
+        import repro
+
+        return Path(repro.__file__).resolve().parent.parent.parent
+    except ImportError:
+        return GOLDENS.parents[2]
+
+#: Module prefixes of the effects golden — the concurrency-rule scopes
+#: (mirrors repro.lint.rules.scopes.RUNTIME_SCOPE_PREFIXES).
+EFFECTS_PREFIXES = (
+    "repro.net.tcp",
+    "repro.runtime",
+    "repro.client",
+    "repro.traffic",
+)
+
+
+def main() -> int:
+    repo_root = _repo_root()
+    sys.path.insert(0, str(repo_root / "src"))
+    from repro.lint.engine import collect_modules
+    from repro.lint.flow import build_call_graph, build_effects
+
+    modules = [
+        m
+        for m in collect_modules(repo_root / "src", None)
+        if not m.is_test and m.module.startswith("repro")
+    ]
+
+    graph = build_call_graph(modules)
+    graph_dump = (
+        json.dumps(graph.to_json("repro.core"), indent=2, sort_keys=True) + "\n"
+    )
+    (GOLDENS / "callgraph_core.json").write_text(graph_dump, encoding="utf-8")
+    print(f"wrote {GOLDENS / 'callgraph_core.json'}")
+
+    index = build_effects(modules)
+    effects_dump = (
+        json.dumps(index.to_json(EFFECTS_PREFIXES), indent=2, sort_keys=True)
+        + "\n"
+    )
+    (GOLDENS / "effects_runtime.json").write_text(effects_dump, encoding="utf-8")
+    print(f"wrote {GOLDENS / 'effects_runtime.json'}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
