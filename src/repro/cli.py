@@ -380,12 +380,34 @@ def cmd_lint(args) -> int:
                 Path(args.effects).write_text(dump + "\n", encoding="utf-8")
                 print(f"effect summaries written to {args.effects}")
             return 0
+        if args.persistence is not None:
+            from repro.lint.flow import build_persistence
+
+            index = build_persistence(modules)
+            dump = json_module.dumps(
+                index.to_json(args.persistence_prefix or None),
+                indent=2,
+                sort_keys=True,
+            )
+            if args.persistence == "-":
+                print(dump)
+            else:
+                Path(args.persistence).write_text(dump + "\n", encoding="utf-8")
+                print(f"persistence summaries written to {args.persistence}")
+            return 0
         only_paths = None
         if args.changed:
             only_paths = _git_changed_paths(src_root.parent)
             if not only_paths:
                 print("repro lint: no changed python files")
                 return 0
+            # Interprocedural rules (persistence, effects, taint) can
+            # produce findings in a file whose *callee* changed: widen the
+            # re-lint set to the changed files' call-graph neighborhood so
+            # a cross-function regression is never silently skipped.
+            from repro.lint.flow import neighborhood_paths
+
+            only_paths = neighborhood_paths(modules, only_paths)
         findings = lint_modules(
             modules, get_rules(args.rule or None), only_paths=only_paths
         )
@@ -623,9 +645,22 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="MODULE",
                       help="restrict --effects output to modules under these "
                            "dotted prefixes (repeatable; e.g. repro.runtime)")
+    lint.add_argument("--persistence", nargs="?", const="-", default=None,
+                      metavar="FILE",
+                      help="instead of linting, dump per-function persistence "
+                           "summaries (safety-state mutations, journal ops, "
+                           "file-write idioms, network sends) as JSON to FILE "
+                           "(stdout by default)")
+    lint.add_argument("--persistence-prefix", action="append", default=[],
+                      metavar="MODULE",
+                      help="restrict --persistence output to modules under "
+                           "these dotted prefixes (repeatable; e.g. "
+                           "repro.storage)")
     lint.add_argument("--changed", action="store_true",
                       help="lint only files changed vs git HEAD (plus "
-                           "untracked files) for fast pre-commit runs")
+                           "untracked files), widened to their call-graph "
+                           "neighborhood so interprocedural rules still see "
+                           "cross-function regressions")
 
     table1 = sub.add_parser("table1", help="reproduce Table 1")
     table1.add_argument("--n", type=int, default=4)

@@ -30,6 +30,17 @@ from repro.lint.flow.taint import (
     is_sanitizer_name,
 )
 
+# Imported last: persistence lazily reaches into the rules package (for
+# the safety-state ownership map), so every earlier flow symbol must be
+# bound before any re-entrant import of this package.
+from repro.lint.flow.callgraph import neighborhood_paths
+from repro.lint.flow.persistence import (
+    FunctionPersistence,
+    PersistenceEvent,
+    PersistenceIndex,
+    build_persistence,
+)
+
 __all__ = [
     "BLOCKING_CALLS",
     "BLOCKING_METHOD_TAILS",
@@ -38,12 +49,17 @@ __all__ = [
     "EffectsIndex",
     "FunctionEffects",
     "FunctionNode",
+    "FunctionPersistence",
     "GUARD_METHODS",
+    "PersistenceEvent",
+    "PersistenceIndex",
     "SINK_METHODS",
     "SinkHit",
     "Summary",
     "TaintEngine",
     "build_call_graph",
     "build_effects",
+    "build_persistence",
     "is_sanitizer_name",
+    "neighborhood_paths",
 ]

@@ -29,11 +29,17 @@ artifact).
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.lint.engine import ParsedModule
 
-__all__ = ["CallGraph", "ClassNode", "FunctionNode", "build_call_graph"]
+__all__ = [
+    "CallGraph",
+    "ClassNode",
+    "FunctionNode",
+    "build_call_graph",
+    "neighborhood_paths",
+]
 
 
 class FunctionNode:
@@ -398,6 +404,45 @@ def build_call_graph(modules: Sequence[ParsedModule]) -> CallGraph:
     return graph
 
 
+def neighborhood_paths(
+    modules: Sequence[ParsedModule], changed_paths: Iterable[str]
+) -> Set[str]:
+    """Expand changed file paths to their call-graph neighborhood.
+
+    Interprocedural rules (taint, effects, persistence) can produce a
+    finding in file A because of an edit in file B; a path filter built
+    from ``git diff`` alone would silently drop it.  This returns the
+    changed set plus every file containing a direct caller or callee of
+    a function defined in a changed file, so ``repro lint --changed``
+    re-reports those cross-file findings.
+    """
+    project = [
+        m
+        for m in modules
+        if not m.is_test and not m.skipped and m.module.startswith("repro")
+    ]
+    graph = build_call_graph(project)
+    path_of = {m.module: m.path for m in project}
+    changed = set(changed_paths)
+    out = set(changed)
+    for node in graph.functions.values():
+        caller_path = path_of.get(node.module)
+        if caller_path is None:
+            continue
+        for callee in node.calls:
+            callee_node = graph.functions.get(callee)
+            callee_path = (
+                path_of.get(callee_node.module) if callee_node is not None else None
+            )
+            if callee_path is None:
+                continue
+            if caller_path in changed:
+                out.add(callee_path)
+            if callee_path in changed:
+                out.add(caller_path)
+    return out
+
+
 def _resolve_name(
     graph: CallGraph, context: _ModuleContext, node: ast.AST
 ) -> Optional[str]:
@@ -476,24 +521,33 @@ def _infer_attr_types(
         ):
             continue
         attr = target.attr
+        # ``x if cond else Cls()`` defaults: either branch may carry the
+        # type (``self.journal = journal if journal is not None else
+        # SafetyJournal()``); take the first branch that infers.
+        candidates: List[Optional[ast.AST]] = (
+            [value.body, value.orelse] if isinstance(value, ast.IfExp) else [value]
+        )
         inferred: Optional[str] = None
         if annotation is not None:
             name = _annotation_class(annotation)
             if name is not None:
                 inferred = _lookup_class(graph, context, name)
-        if inferred is None and isinstance(value, ast.Call):
-            inferred = _resolve_name(graph, context, value.func)
-            if inferred is not None and inferred not in graph.classes:
-                inferred = None
-        if inferred is None and isinstance(value, ast.Name):
-            inferred = param_types.get(value.id)
-        if inferred is None and isinstance(value, ast.Attribute):
-            # ``self.crypto = replica.crypto``: chase one typed hop.
-            chain = _attribute_chain(value)
-            if chain is not None and len(chain) == 2:
-                owner = param_types.get(chain[0])
-                if owner is not None:
-                    inferred = graph.attr_type(owner, chain[1])
+        for value in candidates:
+            if inferred is not None:
+                break
+            if isinstance(value, ast.Call):
+                inferred = _resolve_name(graph, context, value.func)
+                if inferred is not None and inferred not in graph.classes:
+                    inferred = None
+            elif isinstance(value, ast.Name):
+                inferred = param_types.get(value.id)
+            elif isinstance(value, ast.Attribute):
+                # ``self.crypto = replica.crypto``: chase one typed hop.
+                chain = _attribute_chain(value)
+                if chain is not None and len(chain) == 2:
+                    owner = param_types.get(chain[0])
+                    if owner is not None:
+                        inferred = graph.attr_type(owner, chain[1])
         if inferred is not None:
             class_node.attr_types.setdefault(attr, inferred)
 
@@ -535,6 +589,21 @@ def _resolve_calls(
             chain = _attribute_chain(call.func)
             if chain is not None:
                 node.unresolved.add(".".join(chain))
+            elif _super_attr(call.func) is not None:
+                node.unresolved.add(f"super().{_super_attr(call.func)}")
+
+
+def _super_attr(func: ast.AST) -> Optional[str]:
+    """``super().m`` -> ``"m"``; None for anything else (incl. 2-arg super)."""
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Call)
+        and isinstance(func.value.func, ast.Name)
+        and func.value.func.id == "super"
+        and not func.value.args
+    ):
+        return func.attr
+    return None
 
 
 def _resolve_call_target(
@@ -546,6 +615,14 @@ def _resolve_call_target(
 ) -> Optional[str]:
     chain = _attribute_chain(func)
     if chain is None:
+        # ``super().method(...)``: the MRO search starts *after* the
+        # defining class, which is exactly Python's zero-arg super.
+        method = _super_attr(func)
+        if method is not None and node.class_name is not None:
+            for cls in graph.mro(node.class_name)[1:]:
+                qual = graph.classes[cls].methods.get(method)
+                if qual is not None:
+                    return qual
         return None
     head, rest = chain[0], chain[1:]
 

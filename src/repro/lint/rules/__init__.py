@@ -6,6 +6,7 @@ from repro.lint.rules import (  # noqa: F401  (registration side effects)
     blocking_in_async,
     byzantine_taint,
     cancellation_safety,
+    crash_consistency,
     determinism,
     dispatch_exhaustive,
     hot_path,

@@ -114,9 +114,17 @@ class ProcessNetwork:
 
 
 def write_status(path: Path, payload: dict) -> None:
-    """Atomically publish a status snapshot (tmp + rename)."""
+    """Atomically publish a status snapshot (tmp + fsync + rename).
+
+    The supervisor trusts whatever it reads here, so the staging file must
+    be durable *before* the rename makes it visible — without the fsync a
+    power cut can publish an empty or torn snapshot under the final name.
+    """
     tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_text(json.dumps(payload, sort_keys=True) + "\n", encoding="utf-8")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp, path)
 
 

@@ -17,6 +17,7 @@ distribution step is needed for the simulated crypto.
 from __future__ import annotations
 
 import json
+import os
 import socket
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -98,7 +99,14 @@ class ClusterSpec:
     def save(self, path: Union[str, Path]) -> Path:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json(), encoding="utf-8")
+        # Every worker process loads this file; publish it atomically so a
+        # crash mid-save can never hand a worker a torn spec.
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
         return path
 
     @classmethod

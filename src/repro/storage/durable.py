@@ -1,9 +1,13 @@
 """Durable and recovering replicas.
 
-:class:`DurableReplica` journals its safety state after every handled event.
-Because the simulation delivers events atomically (a crash can only happen
-*between* events), snapshot-after-every-event gives exactly write-ahead
-semantics with respect to any message the replica has sent.
+:class:`DurableReplica` journals its safety state after every handled event
+and defers every network send until that journal write has landed
+(:class:`SendOutbox`): a handler's egress is buffered while it runs, the
+snapshot is written, and only then is the buffer flushed to the real
+network.  A crash at *any* event boundary therefore observes the
+write-ahead invariant — anything a peer may have seen is already in the
+journal — which is exactly the premise of the recovery argument (a replica
+never contradicts a vote it already sent).
 
 :class:`RecoveringReplica` crashes at ``crash_at`` — losing its block store,
 ledger, mempool, vote accumulators and all fallback working state — and at
@@ -15,21 +19,70 @@ the chain and resumes voting without ever contradicting its pre-crash votes.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.core.replica import Replica
 from repro.core.safety import FallbackVoteState
 from repro.ledger.ledger import StateMachine
 from repro.mempool.mempool import Mempool
+from repro.net.network import Network
 from repro.storage.journal import SafetyJournal, SafetySnapshot
+
+
+class SendOutbox:
+    """Write-ahead egress buffer: holds sends until the journal is ahead.
+
+    Installed as a durable replica's ``network``; ``send``/``multicast``
+    are recorded in arrival order and replayed onto the real network by
+    :meth:`flush` — which the replica only calls after ``_persist()``.
+    Everything else (topology queries, hooks, metrics counters) passes
+    through to the wrapped network unchanged.
+    """
+
+    def __init__(self, inner: Network) -> None:
+        self.inner = inner
+        self._pending: List[Tuple[str, Tuple[Any, ...]]] = []
+
+    def send(self, sender: int, receiver: int, message: object) -> None:
+        self._pending.append(("send", (sender, receiver, message)))
+
+    def multicast(
+        self, sender: int, message: object, include_self: bool = True
+    ) -> None:
+        self._pending.append(("multicast", (sender, message, include_self)))
+
+    def flush(self) -> None:
+        """Replay the buffer onto the real network, preserving order."""
+        pending, self._pending = self._pending, []
+        for kind, payload in pending:
+            if kind == "send":
+                self.inner.send(payload[0], payload[1], payload[2])
+            else:
+                self.inner.multicast(payload[0], payload[1], include_self=payload[2])
+
+    def discard(self) -> None:
+        """Drop buffered sends (the replica crashed before persisting)."""
+        self._pending.clear()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.inner, name)
 
 
 class DurableReplica(Replica):
     """An honest replica with journaled safety state."""
 
-    def __init__(self, *args, journal: Optional[SafetyJournal] = None, **kwargs) -> None:
+    def __init__(
+        self, *args: Any, journal: Optional[SafetyJournal] = None, **kwargs: Any
+    ) -> None:
         super().__init__(*args, **kwargs)
         self.journal = journal if journal is not None else SafetyJournal()
+        # Write-ahead egress: wrap the network so every send a handler makes
+        # is buffered and only reaches the wire after the journal write that
+        # covers it (persist-then-flush in _commit_outbox).
+        self.network = SendOutbox(self.network)  # type: ignore[assignment]
         # A pre-populated journal means this is a process restart (the live
         # runtime hands every incarnation the same on-disk journal): restore
         # the persisted safety state *before* the first write so the new
@@ -41,20 +94,37 @@ class DurableReplica(Replica):
             self._restore(snapshot)
         self._persist()
 
-    # Journal after every externally visible step.
+    # Journal after every externally visible step, then release the
+    # buffered egress: persist-then-flush is the write-ahead discipline
+    # the persist-before-send lint rule checks.
     def deliver(self, sender: int, message: object) -> None:
         super().deliver(sender, message)
-        if not self.crashed:
-            self._persist()
+        self._commit_outbox()
 
     def on_timer(self, name: str) -> None:
         super().on_timer(name)
-        if not self.crashed:
-            self._persist()
+        self._commit_outbox()
 
     def on_start(self) -> None:
         super().on_start()
+        self._commit_outbox()
+
+    def _commit_outbox(self) -> None:
+        """Journal the handler's safety mutations, then flush its sends."""
+        outbox = self.network
+        if not isinstance(outbox, SendOutbox):  # pragma: no cover - defensive
+            if not self.crashed:
+                self._persist()
+            return
+        if self.crashed:
+            # A crashed replica's buffered egress must never reach the wire:
+            # nothing it produced after the last persisted snapshot may
+            # become visible, or a peer could hold a vote the restarted
+            # incarnation does not remember casting.
+            outbox.discard()
+            return
         self._persist()
+        outbox.flush()
 
     # ------------------------------------------------------------------
     # Snapshot / restore
@@ -79,19 +149,26 @@ class DurableReplica(Replica):
         self.journal.write(snapshot)
 
     def _restore(self, snapshot: SafetySnapshot) -> None:
-        self.safety.r_vote = snapshot.r_vote
-        self.safety.rank_lock = snapshot.rank_lock
-        self.v_cur = snapshot.v_cur
+        # Monotone safety state is max-merged, never plain-assigned: on the
+        # normal fresh-incarnation restore the max is a no-op, and it makes
+        # a stale snapshot (or a double restore) physically unable to
+        # regress r_vote/rank_lock below votes already sent — the
+        # monotonic-restore lint rule pins this shape.
+        self.safety.r_vote = max(self.safety.r_vote, snapshot.r_vote)
+        self.safety.rank_lock = max(self.safety.rank_lock, snapshot.rank_lock)
+        self.v_cur = max(self.v_cur, snapshot.v_cur)
         self.fallback_mode = snapshot.fallback_mode
-        self.fallbacks_entered = snapshot.fallbacks_entered
-        self._proposed = set(snapshot.proposed)
+        self.fallbacks_entered = max(self.fallbacks_entered, snapshot.fallbacks_entered)
+        self._proposed.update(snapshot.proposed)
         if snapshot.fallback_view is not None:
             state = FallbackVoteState(view=snapshot.fallback_view)
             state.r_vote = dict(snapshot.fallback_r_vote)
             state.h_vote = dict(snapshot.fallback_h_vote)
             self.safety._fallback_votes = state
         if self.fallback is not None:
-            self.fallback.entered_view = snapshot.entered_view
+            self.fallback.entered_view = max(
+                self.fallback.entered_view, snapshot.entered_view
+            )
             self.fallback.restore_proposed_heights(snapshot.fallback_proposed)
             # Never re-propose fallback blocks for already-covered heights:
             # the proposed-height watermark gates _propose_next_height, and
@@ -110,10 +187,10 @@ class RecoveringReplica(DurableReplica):
 
     def __init__(
         self,
-        *args,
+        *args: Any,
         crash_at: Optional[float] = 50.0,
         recover_at: Optional[float] = 100.0,
-        **kwargs,
+        **kwargs: Any,
     ) -> None:
         if crash_at is not None and recover_at is not None and recover_at <= crash_at:
             raise ValueError("recover_at must be after crash_at")
@@ -126,15 +203,15 @@ class RecoveringReplica(DurableReplica):
     def factory(
         crash_at: Optional[float] = None,
         recover_at: Optional[float] = None,
-        **extra,
-    ):
+        **extra: Any,
+    ) -> Callable[..., "RecoveringReplica"]:
         """A replica factory for builders and fault schedules.
 
         ``RecoveringReplica.factory()`` (no times) yields replicas driven
         purely by schedule-issued ``crash``/``recover`` events.
         """
 
-        def make(*args, **kwargs):
+        def make(*args: Any, **kwargs: Any) -> "RecoveringReplica":
             return RecoveringReplica(
                 *args, crash_at=crash_at, recover_at=recover_at, **extra, **kwargs
             )
@@ -183,4 +260,4 @@ class RecoveringReplica(DurableReplica):
         # Resume participation: arm the round timer unless mid-fallback.
         if not self.fallback_mode:
             self._arm_round_timer()
-        self._persist()
+        self._commit_outbox()

@@ -32,7 +32,7 @@ import os
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Union
+from typing import Any, Optional, Union
 
 from repro.types.certificates import Rank
 
@@ -86,7 +86,7 @@ class SafetyJournal:
 # ----------------------------------------------------------------------
 # Snapshot <-> JSON (the FileSafetyJournal record body)
 # ----------------------------------------------------------------------
-def snapshot_to_dict(snapshot: SafetySnapshot) -> dict:
+def snapshot_to_dict(snapshot: SafetySnapshot) -> dict[str, object]:
     """A JSON-safe dict carrying every :class:`SafetySnapshot` field."""
     return {
         "r_vote": snapshot.r_vote,
@@ -109,7 +109,7 @@ def snapshot_to_dict(snapshot: SafetySnapshot) -> dict:
     }
 
 
-def snapshot_from_dict(data: dict) -> SafetySnapshot:
+def snapshot_from_dict(data: dict[str, Any]) -> SafetySnapshot:
     """Rebuild a :class:`SafetySnapshot` from :func:`snapshot_to_dict` output.
 
     Raises ``KeyError`` / ``TypeError`` / ``ValueError`` on malformed input;

@@ -1,0 +1,47 @@
+"""Known liveness stall: a StaleQCLeader on a synchronous network.
+
+Replica 0 always proposes off the genesis QC, so honest voters reject
+every proposal it leads (the ``qc.rank >= rank_lock`` and
+``r == qc.r + 1`` checks) and its rounds burn a full timeout each.  On a
+synchronous network the round-robin schedule keeps handing it the same
+rounds back, and with ``n = 4`` the steady-state pipeline never gets far
+enough ahead for honest leaders to re-certify progress: decisions stall
+near zero for the whole budget.
+
+This is a *liveness* gap, not a safety one (the safety property suite
+passes this exact configuration), and it is a faithful reproduction of
+the paper's motivation: the steady-state protocol alone cannot make
+progress against an adversarial leader — only the asynchronous fallback's
+leader rotation can.  The strict xfail pins the stall; if a scheduling or
+pacemaker change ever makes this configuration live, the xpass will flag
+it so the repro can be promoted to a regression test.
+"""
+
+import pytest
+
+from repro.core.config import ProtocolVariant
+
+from tests.integration.test_property_safety import build_and_run
+
+#: Index of ``byzantine(StaleQCLeader)`` in the property suite's fault
+#: factory table.
+STALE_QC_LEADER = 6
+
+
+@pytest.mark.xfail(
+    strict=True,
+    reason="StaleQCLeader stalls sync n=4 FALLBACK_3CHAIN: rounds led by "
+    "the faulty replica burn a timeout each and decisions never ramp "
+    "(known liveness gap; safety still holds)",
+)
+def test_stale_qc_leader_stalls_synchronous_cluster():
+    cluster = build_and_run(
+        ProtocolVariant.FALLBACK_3CHAIN,
+        4,
+        104,
+        "sync",
+        STALE_QC_LEADER,
+        0,
+        budget=600.0,
+    )
+    assert cluster.metrics.decisions() >= 5

@@ -12,6 +12,9 @@ Rebuilds, with byte-identical formatting to the CLI dumps:
 - ``effects_runtime.json`` — per-function effect summaries for the live
   runtime scopes (``repro lint --effects ...`` with the four
   ``--effects-prefix`` values the concurrency rules cover)
+- ``persistence_storage.json`` — per-function persistence summaries for
+  the durability scopes (``repro lint --persistence ...`` with the
+  ``--persistence-prefix`` values the crash-consistency rules cover)
 
 Run it whenever a golden test fails after an intentional change, then
 review the diff like any other code change: a new suspension point or a
@@ -46,12 +49,20 @@ EFFECTS_PREFIXES = (
     "repro.traffic",
 )
 
+#: Module prefixes of the persistence golden — the scopes the
+#: crash-consistency rules reason about (journal, durable replicas, the
+#: live runtime's status/spec files).
+PERSISTENCE_PREFIXES = (
+    "repro.storage",
+    "repro.runtime",
+)
+
 
 def main() -> int:
     repo_root = _repo_root()
     sys.path.insert(0, str(repo_root / "src"))
     from repro.lint.engine import collect_modules
-    from repro.lint.flow import build_call_graph, build_effects
+    from repro.lint.flow import build_call_graph, build_effects, build_persistence
 
     modules = [
         m
@@ -73,6 +84,18 @@ def main() -> int:
     )
     (GOLDENS / "effects_runtime.json").write_text(effects_dump, encoding="utf-8")
     print(f"wrote {GOLDENS / 'effects_runtime.json'}")
+
+    persistence = build_persistence(modules)
+    persistence_dump = (
+        json.dumps(
+            persistence.to_json(PERSISTENCE_PREFIXES), indent=2, sort_keys=True
+        )
+        + "\n"
+    )
+    (GOLDENS / "persistence_storage.json").write_text(
+        persistence_dump, encoding="utf-8"
+    )
+    print(f"wrote {GOLDENS / 'persistence_storage.json'}")
     return 0
 
 

@@ -93,6 +93,41 @@ def test_changed_with_clean_tree_exits_zero(git_tree, capsys):
     assert "no changed python files" in out
 
 
+def test_changed_expands_to_call_graph_neighborhood(git_tree, capsys):
+    # alpha calls a helper in delta; touching only delta must re-lint
+    # alpha too (interprocedural findings would otherwise be skipped),
+    # while beta — unconnected to delta — stays out of scope.
+    delta = git_tree / "src" / "repro" / "runtime" / "delta.py"
+    delta.write_text("def helper():\n    return 1\n", encoding="utf-8")
+    alpha = git_tree / "src" / "repro" / "runtime" / "alpha.py"
+    alpha.write_text(
+        _VIOLATION
+        + textwrap.dedent(
+            """
+            from repro.runtime.delta import helper
+
+
+            def use():
+                return helper()
+            """
+        ),
+        encoding="utf-8",
+    )
+    _git(git_tree, "add", "-A")
+    _git(
+        git_tree,
+        "-c", "user.name=t",
+        "-c", "user.email=t@t",
+        "commit", "--quiet", "-m", "wire alpha to delta",
+    )
+    delta.write_text("def helper():\n    return 2\n", encoding="utf-8")
+    code, out = _lint_changed(git_tree, capsys)
+    payload = json.loads(out)
+    paths = {finding["path"] for finding in payload["findings"]}
+    assert paths == {"src/repro/runtime/alpha.py"}
+    assert code == 1
+
+
 def test_changed_outside_git_checkout_fails_loudly(tmp_path, capsys):
     pkg = tmp_path / "plain" / "src" / "repro"
     pkg.mkdir(parents=True)

@@ -1,0 +1,404 @@
+"""Crash-consistency rules: true-positive and false-positive fixtures."""
+
+from repro.lint.rules.crash_consistency import (
+    AtomicReplaceRule,
+    JournalCoverageRule,
+    MonotonicRestoreRule,
+    PersistBeforeSendRule,
+)
+
+from tests.lint.conftest import mod, run_rule
+
+
+# ----------------------------------------------------------------------
+# persist-before-send
+# ----------------------------------------------------------------------
+_BOUNDARY_CLASSES = """
+class SafetyJournal:
+    def write(self, snapshot):
+        pass
+
+
+class Network:
+    def send(self, sender, receiver, message):
+        pass
+
+    def multicast(self, sender, message):
+        pass
+"""
+
+
+def test_persist_before_send_flags_send_ahead_of_journal():
+    findings = run_rule(PersistBeforeSendRule, mod(
+        _BOUNDARY_CLASSES + """
+
+class Node:
+    def __init__(self, network: Network):
+        self.network = network
+        self.journal = SafetyJournal()
+        self.r_vote = 0
+
+    def deliver(self, sender, message):
+        self.r_vote = message
+        self.network.send(0, 1, message)
+        self.journal.write(self.r_vote)
+""",
+        "repro.fix.wal",
+    ))
+    assert [f.rule for f in findings] == ["persist-before-send"]
+    assert "r_vote" in findings[0].message
+    assert "Node.deliver" in findings[0].message
+
+
+def test_persist_before_send_accepts_journal_first():
+    findings = run_rule(PersistBeforeSendRule, mod(
+        _BOUNDARY_CLASSES + """
+
+class Node:
+    def __init__(self, network: Network):
+        self.network = network
+        self.journal = SafetyJournal()
+        self.r_vote = 0
+
+    def deliver(self, sender, message):
+        self.r_vote = message
+        self.journal.write(self.r_vote)
+        self.network.send(0, 1, message)
+""",
+        "repro.fix.wal",
+    ))
+    assert findings == []
+
+
+def test_persist_before_send_ignores_unjournaled_classes():
+    # A volatile replica (no journal anywhere in its handlers) has no
+    # write-ahead obligation: mutate-then-send is its normal operation.
+    findings = run_rule(PersistBeforeSendRule, mod(
+        _BOUNDARY_CLASSES + """
+
+class VolatileNode:
+    def __init__(self, network: Network):
+        self.network = network
+        self.r_vote = 0
+
+    def deliver(self, sender, message):
+        self.r_vote = message
+        self.network.send(0, 1, message)
+""",
+        "repro.fix.wal",
+    ))
+    assert findings == []
+
+
+def test_persist_before_send_sees_through_inherited_handlers():
+    # The mutation and send live in the base class; only the subclass
+    # journals.  The violation belongs to the journaled subclass and the
+    # analysis must walk the base handler under the subclass's MRO.
+    findings = run_rule(PersistBeforeSendRule, mod(
+        _BOUNDARY_CLASSES + """
+
+class Base:
+    def __init__(self, network: Network):
+        self.network = network
+        self.r_vote = 0
+
+    def handle(self, message):
+        self.r_vote = message
+        self.network.send(0, 1, message)
+
+
+class Durable(Base):
+    def __init__(self, network: Network):
+        self.journal = SafetyJournal()
+
+    def deliver(self, sender, message):
+        self.handle(message)
+        self.journal.write(self.r_vote)
+""",
+        "repro.fix.wal",
+    ))
+    assert [f.rule for f in findings] == ["persist-before-send"]
+
+
+def test_persist_before_send_accepts_outbox_pattern():
+    # The real fix shape: sends resolve to a buffering outbox under the
+    # durable class; the journal write precedes the flush's real egress.
+    findings = run_rule(PersistBeforeSendRule, mod(
+        _BOUNDARY_CLASSES + """
+
+class Outbox:
+    def __init__(self, inner: Network):
+        self.inner = inner
+        self.pending = []
+
+    def send(self, sender, receiver, message):
+        self.pending.append((sender, receiver, message))
+
+    def flush(self):
+        for sender, receiver, message in self.pending:
+            self.inner.send(sender, receiver, message)
+
+
+class Base:
+    def __init__(self, network: Network):
+        self.network = network
+        self.r_vote = 0
+
+    def handle(self, message):
+        self.r_vote = message
+        self.network.send(0, 1, message)
+
+
+class Durable(Base):
+    def __init__(self, network: Network):
+        self.journal = SafetyJournal()
+        self.network = Outbox(self.network)
+
+    def deliver(self, sender, message):
+        self.handle(message)
+        self.journal.write(self.r_vote)
+        self.network.flush()
+""",
+        "repro.fix.wal",
+    ))
+    assert findings == []
+
+
+def test_persist_before_send_on_real_tree_is_clean():
+    # DurableReplica's persist-then-flush outbox is the on-tree proof
+    # obligation this rule exists for.
+    from pathlib import Path
+
+    import repro
+    from repro.lint.engine import collect_modules, lint_modules
+
+    src = Path(repro.__file__).resolve().parent.parent
+    modules = collect_modules(src, None)
+    findings = lint_modules(modules, [PersistBeforeSendRule()])
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# journal-coverage
+# ----------------------------------------------------------------------
+_COVERED_SNAPSHOT = """
+class SafetySnapshot:
+    r_vote: int
+    rank_lock: int
+    fallback_view: int
+    fallback_r_vote: dict
+    fallback_h_vote: dict
+
+
+def snapshot_to_dict(snapshot):
+    return {
+        "r_vote": snapshot.r_vote,
+        "rank_lock": snapshot.rank_lock,
+        "fallback_view": snapshot.fallback_view,
+        "fallback_r_vote": snapshot.fallback_r_vote,
+        "fallback_h_vote": snapshot.fallback_h_vote,
+    }
+
+
+def snapshot_from_dict(data):
+    return SafetySnapshot(
+        r_vote=data["r_vote"],
+        rank_lock=data["rank_lock"],
+        fallback_view=data["fallback_view"],
+        fallback_r_vote=data["fallback_r_vote"],
+        fallback_h_vote=data["fallback_h_vote"],
+    )
+
+
+class Node:
+    def _persist(self):
+        snapshot = SafetySnapshot(
+            r_vote=self.safety.r_vote,
+            rank_lock=self.safety.rank_lock,
+            fallback_view=0,
+            fallback_r_vote={},
+            fallback_h_vote={},
+        )
+        self.journal.write(snapshot)
+
+    def _restore(self, snapshot):
+        self.safety.r_vote = max(self.safety.r_vote, snapshot.r_vote)
+        self.safety.rank_lock = max(self.safety.rank_lock, snapshot.rank_lock)
+        self.view = snapshot.fallback_view
+        self.rv = dict(snapshot.fallback_r_vote)
+        self.hv = dict(snapshot.fallback_h_vote)
+"""
+
+
+def test_journal_coverage_clean_when_all_layers_agree():
+    findings = run_rule(
+        JournalCoverageRule, mod(_COVERED_SNAPSHOT, "repro.fix.cov")
+    )
+    assert findings == []
+
+
+def test_journal_coverage_flags_field_never_restored():
+    # Drop the r_vote read from _restore: the persisted value is silently
+    # forgotten on recovery — both the symmetric diff and the ownership
+    # check fire.
+    broken = _COVERED_SNAPSHOT.replace(
+        "self.safety.r_vote = max(self.safety.r_vote, snapshot.r_vote)\n        ",
+        "",
+    )
+    findings = run_rule(JournalCoverageRule, mod(broken, "repro.fix.cov"))
+    assert all(f.rule == "journal-coverage" for f in findings)
+    assert any("never restores" in f.message and "r_vote" in f.message
+               for f in findings)
+    assert any("ownership map" in f.message for f in findings)
+
+
+def test_journal_coverage_flags_codec_asymmetry():
+    # snapshot_to_dict drops rank_lock: serialization loses a declared
+    # snapshot field.
+    broken = _COVERED_SNAPSHOT.replace(
+        '        "rank_lock": snapshot.rank_lock,\n', ""
+    )
+    findings = run_rule(JournalCoverageRule, mod(broken, "repro.fix.cov"))
+    assert any(
+        "snapshot_to_dict" in f.message and "rank_lock" in f.message
+        for f in findings
+    )
+
+
+def test_journal_coverage_flags_undeclared_field():
+    broken = _COVERED_SNAPSHOT.replace(
+        'return {\n        "r_vote": snapshot.r_vote,',
+        'return {\n        "ghost": snapshot.r_vote,\n        "r_vote": snapshot.r_vote,',
+    )
+    findings = run_rule(JournalCoverageRule, mod(broken, "repro.fix.cov"))
+    assert any("ghost" in f.message and "does not declare" in f.message
+               for f in findings)
+
+
+def test_journal_coverage_inert_without_snapshot_class():
+    findings = run_rule(JournalCoverageRule, mod(
+        """
+        def snapshot_to_dict(snapshot):
+            return {"anything": snapshot.anything}
+        """,
+        "repro.fix.cov",
+    ))
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# atomic-replace
+# ----------------------------------------------------------------------
+def test_atomic_replace_flags_plain_write():
+    findings = run_rule(AtomicReplaceRule, mod(
+        """
+        def save(path, text):
+            path.write_text(text)
+        """,
+        "repro.storage.bad",
+    ))
+    assert [f.rule for f in findings] == ["atomic-replace"]
+    assert "non-atomic" in findings[0].message
+
+
+def test_atomic_replace_flags_tmp_write_without_fsync():
+    findings = run_rule(AtomicReplaceRule, mod(
+        """
+        import os
+
+        def publish(path, text):
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(text)
+            os.replace(tmp, path)
+        """,
+        "repro.runtime.bad",
+    ))
+    assert [f.rule for f in findings] == ["atomic-replace"]
+    assert "fsync" in findings[0].message
+
+
+def test_atomic_replace_accepts_full_idiom_and_append_logs():
+    findings = run_rule(AtomicReplaceRule, mod(
+        """
+        import os
+
+        def publish(path, text):
+            tmp = path.with_suffix(".tmp")
+            with open(tmp, "w") as handle:
+                handle.write(text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+
+        def append_record(path, line):
+            with open(path, "a") as handle:
+                handle.write(line)
+        """,
+        "repro.storage.good",
+    ))
+    assert findings == []
+
+
+def test_atomic_replace_scoped_to_storage_and_runtime():
+    findings = run_rule(AtomicReplaceRule, mod(
+        """
+        def save(path, text):
+            path.write_text(text)
+        """,
+        "repro.experiments.report",
+    ))
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# monotonic-restore
+# ----------------------------------------------------------------------
+def test_monotonic_restore_flags_plain_assignment():
+    findings = run_rule(MonotonicRestoreRule, mod(
+        """
+        class Node:
+            def _restore(self, snapshot):
+                self.safety.r_vote = snapshot.r_vote
+        """,
+        "repro.storage.reg",
+    ))
+    assert [f.rule for f in findings] == ["monotonic-restore"]
+    assert "r_vote" in findings[0].message
+
+
+def test_monotonic_restore_accepts_max_merge():
+    findings = run_rule(MonotonicRestoreRule, mod(
+        """
+        class Node:
+            def _restore(self, snapshot):
+                self.safety.r_vote = max(self.safety.r_vote, snapshot.r_vote)
+                self.fallback_mode = snapshot.fallback_mode
+                self.rv = dict(snapshot.fallback_r_vote)
+        """,
+        "repro.storage.reg",
+    ))
+    assert findings == []
+
+
+def test_monotonic_restore_matches_annotated_snapshot_params():
+    findings = run_rule(MonotonicRestoreRule, mod(
+        """
+        class Node:
+            def adopt(self, snap: "SafetySnapshot"):
+                self.v_cur = snap.v_cur
+        """,
+        "repro.storage.reg",
+    ))
+    assert [f.rule for f in findings] == ["monotonic-restore"]
+
+
+def test_monotonic_restore_ignores_non_monotone_and_other_scopes():
+    findings = run_rule(MonotonicRestoreRule, mod(
+        """
+        class Node:
+            def _restore(self, snapshot):
+                self.safety.r_vote = snapshot.r_vote
+        """,
+        "repro.core.reg",
+    ))
+    assert findings == []

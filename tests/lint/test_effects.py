@@ -282,7 +282,11 @@ def test_regen_script_reproduces_both_goldens(tmp_path):
         env=env,
     )
     assert result.returncode == 0, result.stderr
-    for name in ("callgraph_core.json", "effects_runtime.json"):
+    for name in (
+        "callgraph_core.json",
+        "effects_runtime.json",
+        "persistence_storage.json",
+    ):
         assert (staged / name).read_bytes() == (goldens / name).read_bytes(), name
 
 

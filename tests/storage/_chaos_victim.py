@@ -1,0 +1,75 @@
+"""Victim process for the crash-chaos regression test.
+
+Runs replica 1 as a :class:`DurableReplica` whose journal SIGKILLs the
+process *immediately before* the write that would cover its round-2 vote —
+the exact window between a vote decision and its journal record.  Every
+vote that actually reaches the wire is appended (fsynced) to an egress log
+so the parent test can compare what peers saw against what the journal
+remembers.
+
+Usage: ``python _chaos_victim.py <journal-path> <egress-log-path>``
+(with ``src`` and the repo root on ``PYTHONPATH``).  Exits via SIGKILL if
+the write-ahead discipline holds; exits 3 if it survives the kill window.
+"""
+
+import json
+import os
+import signal
+import sys
+
+from repro.runtime.cluster import ClusterBuilder
+from repro.storage import DurableReplica, FileSafetyJournal
+from repro.types.blocks import Block
+from repro.types.certificates import genesis_qc
+from repro.types.messages import Proposal
+
+from tests.core.conftest import make_real_qc
+
+JOURNAL_PATH, EGRESS_PATH = sys.argv[1], sys.argv[2]
+
+
+class KillerJournal(FileSafetyJournal):
+    """SIGKILLs the process just before the record covering round 2."""
+
+    def write(self, snapshot):
+        if snapshot.r_vote >= 2:
+            os.kill(os.getpid(), signal.SIGKILL)
+        super().write(snapshot)
+
+
+def replica_one(*args, **kwargs):
+    journal = KillerJournal(JOURNAL_PATH, fsync=True)
+    return DurableReplica(*args, journal=journal, **kwargs)
+
+
+builder = ClusterBuilder(n=4, seed=1).with_preload(50)
+builder.with_byzantine(1, replica_one)  # reuse the slot mechanism
+cluster = builder.build()  # not started: messages are hand-delivered
+
+egress = open(EGRESS_PATH, "a", encoding="utf-8")
+
+
+def watch(sender, receiver, message, time, delay):
+    if sender == 1 and type(message).__name__ == "Vote":
+        record = {"round": message.round, "block_id": message.block_id}
+        egress.write(json.dumps(record) + "\n")
+        egress.flush()
+        os.fsync(egress.fileno())
+
+
+cluster.network.add_send_hook(watch)
+
+target = cluster.replicas[1]
+a1 = Block(qc=genesis_qc(target.store.genesis.id), round=1, view=0, author=0)
+target.deliver(0, Proposal(a1))
+assert target.safety.r_vote == 1, "round-1 vote did not happen"
+
+leader2 = cluster.schedule.leader(2)
+a2 = Block(qc=make_real_qc(cluster.setup, a1), round=2, view=0, author=leader2)
+# The handler votes for a2 (buffered), then _persist hits the killer
+# journal: SIGKILL lands before the write — and, under the write-ahead
+# outbox, before the vote could reach the wire.
+target.deliver(leader2, Proposal(a2))
+
+print("UNREACHABLE: survived the kill window", flush=True)
+sys.exit(3)

@@ -1,0 +1,201 @@
+"""Crash-chaos regression: SIGKILL between a vote send and its journal write.
+
+The scenario the write-ahead discipline exists for: a replica decides to
+vote, and the process dies before the journal records that decision.  If
+the vote had already reached the wire (the pre-outbox bug), the restarted
+replica — whose journal still says ``r_vote == 1`` — would happily vote for
+a *different* round-2 block, and peers would hold two contradictory round-2
+votes from the same replica: equivocation, QC forgery material.
+
+The victim process (:mod:`tests.storage._chaos_victim`) runs replica 1
+with a journal that SIGKILLs the process immediately before the write
+covering its round-2 vote, and fsyncs every vote that actually reaches the
+wire to an egress log.  This test then restarts the replica on the same
+journal file, drives it to vote for a conflicting round-2 block, and
+asserts that across both incarnations no round ever saw two distinct
+voted block ids.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+from repro.runtime.cluster import ClusterBuilder
+from repro.storage import DurableReplica, FileSafetyJournal
+from repro.storage.durable import SendOutbox
+from repro.types.blocks import Block
+from repro.types.certificates import genesis_qc
+from repro.types.messages import Proposal, Vote
+from repro.types.transactions import Batch, Transaction
+
+from tests.core.conftest import make_real_qc
+
+REPO_ROOT = Path(repro.__file__).resolve().parent.parent.parent
+VICTIM = Path(__file__).parent / "_chaos_victim.py"
+
+
+def _run_victim(journal_path, egress_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (
+            str(REPO_ROOT / "src"),
+            str(REPO_ROOT),
+            env.get("PYTHONPATH", ""),
+        ) if p
+    )
+    return subprocess.run(
+        [sys.executable, str(VICTIM), str(journal_path), str(egress_path)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+        timeout=120,
+    )
+
+
+def _read_egress(egress_path):
+    votes_by_round = {}
+    for line in egress_path.read_text(encoding="utf-8").splitlines():
+        record = json.loads(line)
+        votes_by_round.setdefault(record["round"], set()).add(record["block_id"])
+    return votes_by_round
+
+
+def test_kill_between_vote_and_journal_write_cannot_equivocate(tmp_path):
+    journal_path = tmp_path / "replica1.journal"
+    egress_path = tmp_path / "egress.log"
+
+    # ------------------------------------------------------------------
+    # Incarnation 1: killed in the window between the round-2 vote
+    # decision and its journal write.
+    # ------------------------------------------------------------------
+    result = _run_victim(journal_path, egress_path)
+    assert result.returncode == -signal.SIGKILL, (
+        result.returncode,
+        result.stdout,
+        result.stderr,
+    )
+    assert "UNREACHABLE" not in result.stdout
+
+    # The wire saw the round-1 vote and *nothing* for round 2: the outbox
+    # held the round-2 vote back until the journal write that never landed.
+    egressed = _read_egress(egress_path)
+    assert set(egressed) == {1}, egressed
+
+    # The journal's last intact record agrees with the wire: r_vote == 1.
+    journal = FileSafetyJournal(journal_path)
+    snapshot = journal.read()
+    journal.close()
+    assert snapshot is not None and snapshot.r_vote == 1
+
+    # ------------------------------------------------------------------
+    # Incarnation 2: restart on the same journal, vote for a *different*
+    # round-2 block.  Legal — the replica never promised a2 to anyone.
+    # ------------------------------------------------------------------
+    def replica_one(*args, **kwargs):
+        return DurableReplica(
+            *args, journal=FileSafetyJournal(journal_path, fsync=True), **kwargs
+        )
+
+    builder = ClusterBuilder(n=4, seed=1).with_preload(50)
+    builder.with_byzantine(1, replica_one)
+    cluster = builder.build()  # not started: messages are hand-delivered
+    target = cluster.replicas[1]
+    assert target.safety.r_vote == 1  # restored, not reset
+
+    restart_votes = {}
+
+    def watch(sender, receiver, message, time, delay):
+        if sender == 1 and isinstance(message, Vote):
+            restart_votes.setdefault(message.round, set()).add(message.block_id)
+
+    cluster.network.add_send_hook(watch)
+
+    # Re-deliver the round-1 proposal: restocks the volatile block store,
+    # but the restored r_vote forbids a second round-1 vote.  (No drain:
+    # the outbox flushes — and the hook fires — synchronously inside
+    # deliver, and draining would run the round-timer cascade forever.)
+    a1 = Block(qc=genesis_qc(target.store.genesis.id), round=1, view=0, author=0)
+    target.deliver(0, Proposal(a1))
+    assert 1 not in restart_votes
+
+    # A conflicting round-2 proposal (same parent QC, different batch, so a
+    # different content-hash id than the a2 the first incarnation saw).
+    leader2 = cluster.schedule.leader(2)
+    qc1 = make_real_qc(cluster.setup, a1)
+    a2 = Block(qc=qc1, round=2, view=0, author=leader2)
+    b2 = Block(
+        qc=qc1,
+        round=2,
+        view=0,
+        author=leader2,
+        batch=Batch.of([Transaction(tx_id="rival-tx")]),
+    )
+    assert b2.id != a2.id
+    target.deliver(leader2, Proposal(b2))
+    assert restart_votes.get(2) == {b2.id}
+
+    # ------------------------------------------------------------------
+    # The invariant: across both incarnations, every round has at most one
+    # distinct voted block id.  Pre-fix, the a2 vote escaped before the
+    # kill and this union would hold {a2.id, b2.id} at round 2.
+    # ------------------------------------------------------------------
+    combined = dict(egressed)
+    for round_number, ids in restart_votes.items():
+        combined.setdefault(round_number, set()).update(ids)
+    for round_number, ids in combined.items():
+        assert len(ids) == 1, f"equivocation at round {round_number}: {ids}"
+    assert a2.id not in combined[2]
+
+
+# ----------------------------------------------------------------------
+# SendOutbox unit behaviour
+# ----------------------------------------------------------------------
+class _RecordingNetwork:
+    def __init__(self):
+        self.calls = []
+        self.n = 4
+
+    def send(self, sender, receiver, message):
+        self.calls.append(("send", sender, receiver, message))
+
+    def multicast(self, sender, message, include_self=True):
+        self.calls.append(("multicast", sender, message, include_self))
+
+
+def test_outbox_buffers_until_flush_and_preserves_order():
+    inner = _RecordingNetwork()
+    outbox = SendOutbox(inner)
+    outbox.send(1, 0, "vote")
+    outbox.multicast(1, "timeout", include_self=False)
+    outbox.send(1, 2, "ack")
+    assert inner.calls == []
+    assert len(outbox) == 3
+    outbox.flush()
+    assert inner.calls == [
+        ("send", 1, 0, "vote"),
+        ("multicast", 1, "timeout", False),
+        ("send", 1, 2, "ack"),
+    ]
+    assert len(outbox) == 0
+    outbox.flush()  # idempotent on empty
+    assert len(inner.calls) == 3
+
+
+def test_outbox_discard_drops_pending_egress():
+    inner = _RecordingNetwork()
+    outbox = SendOutbox(inner)
+    outbox.send(1, 0, "vote")
+    outbox.discard()
+    outbox.flush()
+    assert inner.calls == []
+
+
+def test_outbox_passes_through_non_send_attributes():
+    inner = _RecordingNetwork()
+    outbox = SendOutbox(inner)
+    assert outbox.n == 4
